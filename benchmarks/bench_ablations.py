@@ -1,0 +1,131 @@
+"""Ablations of the design choices called out in DESIGN.md / paper Sec. III.
+
+Three ablations on the shared trained "ours" model:
+
+1. **Fragment-integrity check** — decode with and without the truncation step
+   (i.e. Ours vs plain Medusa decoding of the same syntax-enriched model).
+2. **Typical-acceptance hyper-parameters** — vary epsilon/delta and measure
+   tokens per step (more permissive acceptance commits more tokens per step).
+3. **Number of speculative heads** — cap the heads used at decode time and
+   measure tokens per step (more heads = more tokens per step, the property
+   the paper exploits by training more robust later heads).
+
+Plus a micro-benchmark of the parallel label-construction algorithm against
+its per-column reference implementation (the paper's "parallel algorithm"
+claim in Fig. 4).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.acceptance import TypicalAcceptance
+from repro.core.decoding import DecodingStrategy, SpeculativeDecoder
+from repro.core.labels import apply_syntax_enrichment, apply_syntax_enrichment_reference, build_shifted_labels
+from repro.models.generation import GenerationConfig
+
+
+def _mean_tokens_per_step(decoder, prompts, budget=64, temperature=0.0):
+    """Mean committed tokens per decoding step over ``prompts``.
+
+    ``temperature=0`` decodes greedily (exact-match verification);
+    ``temperature>0`` samples and exercises the typical-acceptance rule.
+    """
+    if temperature > 0:
+        configs = [GenerationConfig.sampling_config(temperature, budget, seed=i) for i in range(len(prompts))]
+    else:
+        configs = [GenerationConfig.greedy_config(budget) for _ in prompts]
+    results = [decoder.generate_from_text(p, c) for p, c in zip(prompts, configs)]
+    return float(np.mean([r.tokens_per_step for r in results]))
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_ablation_integrity_check(benchmark, trained_pipeline, rtllm_subset):
+    """Ours vs. the same model decoded without the fragment-integrity truncation."""
+    model = trained_pipeline.models["ours"]
+    tokenizer = trained_pipeline.tokenizer
+    prompts = [p.prompt for p in rtllm_subset][:3]
+
+    with_integrity = SpeculativeDecoder(model, tokenizer, strategy=DecodingStrategy.OURS)
+    without_integrity = SpeculativeDecoder(model, tokenizer, strategy=DecodingStrategy.MEDUSA)
+
+    tps_with = _mean_tokens_per_step(with_integrity, prompts, temperature=0.8)
+    tps_without = _mean_tokens_per_step(without_integrity, prompts, temperature=0.8)
+
+    print("\n=== Ablation: fragment-integrity check ===")
+    print(f"with integrity check    : {tps_with:.2f} tokens/step")
+    print(f"without integrity check : {tps_without:.2f} tokens/step")
+    print("(the check trades a little per-step progress for fragment-complete outputs)")
+
+    benchmark.pedantic(
+        lambda: with_integrity.generate_from_text(prompts[0], GenerationConfig.greedy_config(32)), rounds=1, iterations=1
+    )
+    assert tps_with > 1.0
+    # Integrity truncation can only remove tokens from an accepted run.
+    assert tps_with <= tps_without + 1e-9
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_ablation_acceptance_threshold(benchmark, trained_pipeline, rtllm_subset):
+    """Stricter typical-acceptance thresholds commit fewer tokens per step."""
+    model = trained_pipeline.models["ours"]
+    tokenizer = trained_pipeline.tokenizer
+    prompts = [p.prompt for p in rtllm_subset][:2]
+
+    settings = {
+        "permissive (eps=0.05, delta=0.2)": TypicalAcceptance(epsilon=0.05, delta=0.2),
+        "paper default (eps=0.09, delta=0.3)": TypicalAcceptance(epsilon=0.09, delta=0.3),
+        "strict (eps=0.5, delta=0.9)": TypicalAcceptance(epsilon=0.5, delta=0.9),
+    }
+    rates = {}
+    for label, acceptance in settings.items():
+        decoder = SpeculativeDecoder(model, tokenizer, strategy=DecodingStrategy.OURS, acceptance=acceptance)
+        rates[label] = _mean_tokens_per_step(decoder, prompts, temperature=0.8)
+
+    print("\n=== Ablation: typical-acceptance threshold ===")
+    for label, rate in rates.items():
+        print(f"{label:<38}: {rate:.2f} tokens/step")
+
+    decoder = SpeculativeDecoder(model, tokenizer, strategy=DecodingStrategy.OURS)
+    benchmark.pedantic(
+        lambda: decoder.generate_from_text(prompts[0], GenerationConfig.greedy_config(32)), rounds=1, iterations=1
+    )
+    assert rates["strict (eps=0.5, delta=0.9)"] <= rates["permissive (eps=0.05, delta=0.2)"] + 1e-9
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_ablation_head_count(benchmark, trained_pipeline, rtllm_subset):
+    """More speculative heads commit more tokens per decoding step."""
+    model = trained_pipeline.models["ours"]
+    tokenizer = trained_pipeline.tokenizer
+    prompts = [p.prompt for p in rtllm_subset][:2]
+
+    rates = {}
+    for heads in (1, 2, 4, model.num_medusa_heads):
+        decoder = SpeculativeDecoder(model, tokenizer, strategy=DecodingStrategy.OURS, max_speculative_heads=heads)
+        rates[heads] = _mean_tokens_per_step(decoder, prompts, temperature=0.8)
+
+    print("\n=== Ablation: number of speculative heads used at decode time ===")
+    for heads, rate in rates.items():
+        print(f"{heads:>2} heads: {rate:.2f} tokens/step")
+
+    decoder = SpeculativeDecoder(model, tokenizer, strategy=DecodingStrategy.OURS, max_speculative_heads=1)
+    benchmark.pedantic(
+        lambda: decoder.generate_from_text(prompts[0], GenerationConfig.greedy_config(32)), rounds=1, iterations=1
+    )
+    head_counts = sorted(rates)
+    assert rates[head_counts[-1]] >= rates[head_counts[0]] - 1e-9
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_parallel_label_algorithm_speed(benchmark):
+    """The vectorised Fig. 4 algorithm against the per-column reference (same output, faster)."""
+    rng = np.random.default_rng(0)
+    frag_id, pad_id, ignore_id = 4, 0, 5
+    base = rng.choice([frag_id, 10, 11, 12, 13], size=2048, p=[0.4, 0.15, 0.15, 0.15, 0.15])
+    labels = build_shifted_labels(base, num_heads=10, pad_id=pad_id)
+
+    fast = benchmark(lambda: apply_syntax_enrichment(labels, frag_id, ignore_id))
+    slow = apply_syntax_enrichment_reference(labels, frag_id, ignore_id)
+    np.testing.assert_array_equal(fast, slow)

@@ -1,0 +1,59 @@
+"""Fig. 5 — decoding-step comparison on the data_register example.
+
+The paper's Fig. 5 decodes one prompt (the 4-bit ``data_register``) with the
+three methods and counts decoding steps: Ours needs the fewest steps (14),
+Medusa fewer than NTP (24 vs 77), and only Ours maintains complete code
+fragments at every step.  This bench regenerates the step counts and the
+fragment-integrity property of the committed runs.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.evalbench.rtllm import rtllm_suite
+from repro.models.generation import GenerationConfig
+
+
+@pytest.mark.benchmark(group="fig5-steps")
+def test_fig5_decoding_steps(benchmark, trained_pipeline):
+    """Regenerate Fig. 5's step counts for the data_register prompt."""
+    problem = rtllm_suite().get("data_register_4")
+    assert problem is not None
+    config = GenerationConfig.greedy_config(120)
+
+    results = {}
+    for method in ("ours", "medusa", "ntp"):
+        decoder = trained_pipeline.decoder_for(method)
+        results[method] = decoder.generate_from_text(problem.prompt, config)
+
+    print("\n=== Fig. 5 (data_register example) ===")
+    header = f"{'method':<8} {'steps':>6} {'tokens':>7} {'tokens/step':>12} {'complete-fragment steps':>24}"
+    print(header)
+    print("-" * len(header))
+    for method, result in results.items():
+        boundary_steps = sum(1 for r in result.step_records if r.ends_at_boundary)
+        print(
+            f"{method:<8} {result.steps:>6} {result.tokens_generated:>7} {result.tokens_per_step:>12.2f} "
+            f"{boundary_steps:>20}/{len(result.step_records)}"
+        )
+
+    decoder = trained_pipeline.decoder_for("ours")
+    benchmark.pedantic(
+        lambda: decoder.generate_from_text(problem.prompt, GenerationConfig.greedy_config(40)), rounds=1, iterations=1
+    )
+
+    # Shape: ours needs no more steps per token than NTP (fewer whenever the
+    # heads land at least one speculation), and every multi-token commit of
+    # ours ends at a fragment boundary.
+    per_token_ours = results["ours"].steps / max(results["ours"].tokens_generated, 1)
+    per_token_ntp = results["ntp"].steps / max(results["ntp"].tokens_generated, 1)
+    assert per_token_ours <= per_token_ntp
+    ours = results["ours"]
+    position = 0
+    for record in ours.step_records:
+        committed = ours.token_ids[position : position + record.committed]
+        position += record.committed
+        if len(committed) > 1:
+            decoder = trained_pipeline.decoder_for("ours")
+            assert committed[-1] in (decoder.frag_id, decoder.eos_id)

@@ -1,0 +1,69 @@
+"""Shared fixtures for the benchmark harness.
+
+All Table/Figure benches share one trained pipeline (the CodeLlama-style
+decoder-only backbone fine-tuned with the three methods) so the expensive
+training cost is paid once per benchmark session.  Set the environment
+variable ``REPRO_BENCH_FULL=1`` to use a larger configuration (longer training,
+more benchmark problems, more samples per prompt) closer to the paper's
+protocol; the default configuration is sized to finish in a few minutes.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.core.pipeline import PipelineConfig, VerilogSpecPipeline
+from repro.evalbench.problems import ProblemSuite
+from repro.evalbench.rtllm import rtllm_suite
+from repro.evalbench.vgen import vgen_suite
+
+FULL = os.environ.get("REPRO_BENCH_FULL", "0") == "1"
+
+#: Number of benchmark problems per suite and samples per prompt used by the
+#: quality benches (Table I, Fig. 1, Fig. 6).
+PROBLEMS_PER_SUITE = 10 if FULL else 5
+SAMPLES_PER_PROMPT = 10 if FULL else 3
+MAX_NEW_TOKENS = 160 if FULL else 110
+SPEED_PROMPTS = 20 if FULL else 6
+
+
+def default_pipeline_config(**overrides) -> PipelineConfig:
+    """The decoder-only (CodeLlama-style) configuration used by most benches."""
+    config = PipelineConfig(
+        corpus_items=240 if FULL else 160,
+        vocab_size=800 if FULL else 700,
+        architecture="decoder-only",
+        model_dim=64 if FULL else 48,
+        num_layers=2,
+        num_attention_heads=4,
+        num_medusa_heads=8,
+        max_seq_len=384,
+        epochs=8 if FULL else 3,
+        max_train_seq_len=256,
+    )
+    for key, value in overrides.items():
+        setattr(config, key, value)
+    return config
+
+
+@pytest.fixture(scope="session")
+def trained_pipeline() -> VerilogSpecPipeline:
+    """Decoder-only pipeline with all three methods trained (shared)."""
+    pipeline = VerilogSpecPipeline(default_pipeline_config())
+    pipeline.prepare()
+    pipeline.train_all()
+    return pipeline
+
+
+@pytest.fixture(scope="session")
+def rtllm_subset() -> ProblemSuite:
+    suite = rtllm_suite()
+    return ProblemSuite(name=suite.name, problems=list(suite)[:PROBLEMS_PER_SUITE])
+
+
+@pytest.fixture(scope="session")
+def vgen_subset() -> ProblemSuite:
+    suite = vgen_suite()
+    return ProblemSuite(name=suite.name, problems=list(suite)[:PROBLEMS_PER_SUITE])

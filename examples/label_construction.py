@@ -1,0 +1,81 @@
+"""Walk through the paper's syntax-enriched label construction (Fig. 3 and Fig. 4).
+
+Starting from the paper's ``data_register`` example, this script shows every
+intermediate artefact of the method:
+
+1. AST keyword extraction and the supplementary keyword list (Fig. 3),
+2. ``[FRAG]`` insertion around syntactically significant tokens,
+3. tokenization with ``[FRAG]`` as an atomic token,
+4. the shifted head-label matrix ("Before" panel of Fig. 4), and
+5. the syntax-enriched label matrix after the parallel masking algorithm
+   ("After" panel of Fig. 4), including the per-head ``[IGNORE]`` fractions the
+   paper argues reduce later heads' prediction difficulty.
+
+Run with:  python examples/label_construction.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.labels import build_shifted_labels, build_syntax_enriched_labels, ignore_fraction_per_head
+from repro.tokenizer.bpe import BPETokenizer
+from repro.verilog.fragments import insert_frag_markers
+from repro.verilog.significant import EXTRA_KEYWORDS, extract_ast_keywords
+
+CODE = """module data_register (
+    input clk,
+    input [3:0] data_in,
+    output reg [3:0] data_out
+);
+    always @(posedge clk) begin
+        data_out <= data_in;
+    end
+endmodule
+"""
+
+NUM_HEADS = 6
+
+
+def main() -> None:
+    print("Original code:\n" + CODE)
+
+    ast_keywords = extract_ast_keywords(CODE)
+    print(f"AST keywords (Fig. 3B): {ast_keywords}")
+    print(f"First extra keywords:   {list(EXTRA_KEYWORDS[:10])} ...")
+
+    annotated = insert_frag_markers(CODE)
+    print("\nCode with [FRAG] markers (Fig. 3C), first 200 characters:")
+    print(annotated[:200] + " ...")
+
+    tokenizer = BPETokenizer()
+    tokenizer.train([CODE, annotated], vocab_size=300)
+    token_ids = tokenizer.encode(annotated, add_eos=True)
+    tokens = [tokenizer.vocab.id_to_token(i) for i in token_ids]
+    print(f"\nTokenized length: {len(tokens)} tokens; first 16: {tokens[:16]}")
+
+    vocab = tokenizer.vocab
+    before = build_shifted_labels(token_ids, NUM_HEADS, pad_id=vocab.pad_id)
+    after = build_syntax_enriched_labels(
+        token_ids, NUM_HEADS, frag_id=vocab.frag_id, pad_id=vocab.pad_id, ignore_id=vocab.ignore_id
+    )
+
+    def render(matrix: np.ndarray, columns: int = 8) -> None:
+        for row in range(matrix.shape[0]):
+            name = "Base " if row == 0 else f"Head{row}"
+            cells = [tokenizer.vocab.id_to_token(int(t)) for t in matrix[row, :columns]]
+            print(f"  {name}: " + " | ".join(f"{c:>10}" for c in cells))
+
+    print("\nShifted labels BEFORE syntax enrichment (first 8 positions):")
+    render(before)
+    print("\nLabels AFTER syntax enrichment (first 8 positions):")
+    render(after)
+
+    fractions = ignore_fraction_per_head(after, vocab.ignore_id)
+    print("\n[IGNORE] fraction per row (base, head1..headN):")
+    print("  " + ", ".join(f"{f:.2f}" for f in fractions))
+    print("Later heads have a higher ignore fraction, which is what makes them easier to train.")
+
+
+if __name__ == "__main__":
+    main()

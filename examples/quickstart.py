@@ -1,0 +1,61 @@
+"""Quickstart: train the three model variants and generate Verilog.
+
+This example reproduces the paper's training setup end-to-end at a small
+scale: it builds a synthetic Verilog corpus, refines it (dedup + syntax check +
+``[FRAG]`` annotation), trains a tokenizer, fine-tunes the same backbone with
+the three methods the paper compares (Ours / Medusa / NTP), and generates a
+design with each, reporting decoding steps and tokens per step.
+
+Run with:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro.core.pipeline import PipelineConfig, VerilogSpecPipeline
+from repro.models.generation import GenerationConfig
+from repro.verilog.syntax import check_syntax
+
+
+def main() -> None:
+    config = PipelineConfig(
+        corpus_items=160,
+        vocab_size=700,
+        model_dim=64,
+        num_layers=2,
+        num_medusa_heads=8,
+        epochs=4,
+        max_seq_len=384,
+        max_train_seq_len=256,
+    )
+    pipeline = VerilogSpecPipeline(config)
+
+    print("Preparing corpus and tokenizer ...")
+    artifacts = pipeline.prepare()
+    print(f"  {len(artifacts.examples)} refined training examples, vocab size {artifacts.tokenizer.vocab_size}")
+
+    for method in ("ours", "medusa", "ntp"):
+        print(f"Training method {method!r} ...")
+        pipeline.train_method(method)
+        history = pipeline.histories[method]
+        print(f"  final loss {history.final_loss():.3f}")
+
+    prompt = (
+        "Please act as a professional Verilog designer.\n"
+        "Write a Verilog module named data_register that implements an 8-bit register "
+        "which captures data_in on the positive edge of the clock.\n"
+    )
+    print("\nPrompt:\n" + prompt)
+    for method in ("ours", "medusa", "ntp"):
+        decoder = pipeline.decoder_for(method)
+        result = decoder.generate_from_text(prompt, GenerationConfig.greedy_config(140))
+        syntax_ok = check_syntax(result.code).ok
+        print(f"--- {method} ---")
+        print(f"  decoding steps: {result.steps}, tokens: {result.tokens_generated}, "
+              f"tokens/step: {result.tokens_per_step:.2f}, syntax ok: {syntax_ok}")
+        print("  generated code (first 5 lines):")
+        for line in result.code.splitlines()[:5]:
+            print("    " + line)
+
+
+if __name__ == "__main__":
+    main()

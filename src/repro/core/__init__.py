@@ -1,0 +1,44 @@
+"""The paper's primary contribution: syntax-enriched speculative decoding.
+
+Modules:
+
+* :mod:`repro.core.labels` — syntax-enriched label construction (Fig. 4),
+* :mod:`repro.core.acceptance` — the typical-acceptance criterion (eq. 1),
+* :mod:`repro.core.integrity` — fragment-integrity truncation,
+* :mod:`repro.core.decoding` — the speculative decoding loop with the three
+  strategies compared in the paper (Ours / Medusa / NTP),
+* :mod:`repro.core.training` — the multi-head training objective (eq. 2) and
+  the fine-tuning loop,
+* :mod:`repro.core.pipeline` — an end-to-end convenience API gluing dataset,
+  tokenizer, model, training and evaluation together.
+"""
+
+from repro.core.labels import (
+    build_shifted_labels,
+    apply_syntax_enrichment,
+    apply_syntax_enrichment_reference,
+    build_syntax_enriched_labels,
+)
+from repro.core.acceptance import TypicalAcceptance
+from repro.core.integrity import truncate_to_complete_fragment
+from repro.core.decoding import DecodingStrategy, SpeculativeDecoder, DecodeResult
+from repro.core.training import MedusaLoss, TrainerConfig, MedusaTrainer, TrainingSample
+from repro.core.pipeline import PipelineConfig, VerilogSpecPipeline
+
+__all__ = [
+    "build_shifted_labels",
+    "apply_syntax_enrichment",
+    "apply_syntax_enrichment_reference",
+    "build_syntax_enriched_labels",
+    "TypicalAcceptance",
+    "truncate_to_complete_fragment",
+    "DecodingStrategy",
+    "SpeculativeDecoder",
+    "DecodeResult",
+    "MedusaLoss",
+    "TrainerConfig",
+    "MedusaTrainer",
+    "TrainingSample",
+    "PipelineConfig",
+    "VerilogSpecPipeline",
+]

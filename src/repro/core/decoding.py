@@ -1,0 +1,323 @@
+"""Speculative decoding loop (paper Sec. III-B).
+
+:class:`SpeculativeDecoder` implements the three decoding regimes the paper
+compares:
+
+* ``NTP`` — conventional next-token prediction with the base head only;
+* ``MEDUSA`` — multi-head speculative decoding with typical acceptance;
+* ``OURS`` — Medusa-style speculation plus the fragment-integrity check that
+  truncates every accepted run back to a syntactically complete fragment.
+
+At each decoding step the model proposes a small set of candidate
+continuations (the base head's top tokens extended with the Medusa heads'
+predictions), verifies all candidates in a single batched forward pass — the
+stand-in for Medusa's tree attention — scores them with the typical-acceptance
+rule (eq. 1), optionally truncates to the last fragment boundary, and commits
+the longest accepted candidate prefix.
+"""
+
+from __future__ import annotations
+
+import enum
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.acceptance import TypicalAcceptance
+from repro.core.integrity import truncate_to_complete_fragment
+from repro.models.generation import GenerationConfig, sample_from_logits, top_k_token_ids
+from repro.models.medusa import MedusaLM
+from repro.tokenizer.bpe import BPETokenizer
+
+
+class DecodingStrategy(enum.Enum):
+    """The decoding regimes compared in the paper."""
+
+    NTP = "ntp"
+    MEDUSA = "medusa"
+    OURS = "ours"
+
+
+@dataclass
+class StepRecord:
+    """Bookkeeping for one decoding step (used by the Fig. 5 bench)."""
+
+    proposed: int
+    accepted: int
+    committed: int
+    ends_at_boundary: bool
+
+
+@dataclass
+class DecodeResult:
+    """Outcome of one generation run."""
+
+    token_ids: List[int]
+    text: str
+    code: str
+    steps: int
+    tokens_generated: int
+    wall_time_seconds: float
+    step_records: List[StepRecord] = field(default_factory=list)
+    stopped_by_eos: bool = False
+
+    @property
+    def tokens_per_second(self) -> float:
+        """Raw generation speed (eq. 3 numerator / denominator for one output)."""
+        if self.wall_time_seconds <= 0:
+            return 0.0
+        return self.tokens_generated / self.wall_time_seconds
+
+    @property
+    def tokens_per_step(self) -> float:
+        """Mean number of tokens committed per decoding step."""
+        if self.steps == 0:
+            return 0.0
+        return self.tokens_generated / self.steps
+
+
+class SpeculativeDecoder:
+    """Generates Verilog with one of the three decoding strategies."""
+
+    def __init__(
+        self,
+        model: MedusaLM,
+        tokenizer: BPETokenizer,
+        strategy: DecodingStrategy = DecodingStrategy.OURS,
+        acceptance: Optional[TypicalAcceptance] = None,
+        num_candidates: int = 3,
+        max_speculative_heads: Optional[int] = None,
+    ) -> None:
+        self.model = model
+        self.tokenizer = tokenizer
+        self.strategy = strategy
+        self.acceptance = acceptance or TypicalAcceptance()
+        self.num_candidates = max(1, num_candidates)
+        self.max_speculative_heads = (
+            model.num_medusa_heads if max_speculative_heads is None else min(max_speculative_heads, model.num_medusa_heads)
+        )
+        vocab = tokenizer.vocab
+        self.frag_id = vocab.frag_id
+        self.eos_id = vocab.eos_id
+        self.bos_id = vocab.bos_id
+
+    # ------------------------------------------------------------------ #
+    # Public API
+    # ------------------------------------------------------------------ #
+
+    def generate(self, prompt_ids: Sequence[int], config: Optional[GenerationConfig] = None) -> DecodeResult:
+        """Generate a completion for ``prompt_ids``."""
+        config = config or GenerationConfig.greedy_config()
+        rng = np.random.default_rng(config.seed)
+        start = time.perf_counter()
+        if self.strategy is DecodingStrategy.NTP or self.model.num_medusa_heads == 0:
+            output_ids, records, stopped = self._generate_ntp(list(prompt_ids), config, rng)
+        else:
+            output_ids, records, stopped = self._generate_speculative(list(prompt_ids), config, rng)
+        elapsed = time.perf_counter() - start
+        text = self.tokenizer.decode(output_ids, keep_frag=True)
+        code = self.tokenizer.decode(output_ids, keep_frag=False)
+        return DecodeResult(
+            token_ids=output_ids,
+            text=text,
+            code=code,
+            steps=len(records),
+            tokens_generated=len(output_ids),
+            wall_time_seconds=elapsed,
+            step_records=records,
+            stopped_by_eos=stopped,
+        )
+
+    def generate_from_text(self, prompt: str, config: Optional[GenerationConfig] = None) -> DecodeResult:
+        """Tokenize ``prompt`` and generate a completion."""
+        prompt_ids = self.tokenizer.encode(prompt, add_bos=True)
+        return self.generate(prompt_ids, config)
+
+    # ------------------------------------------------------------------ #
+    # Model plumbing
+    # ------------------------------------------------------------------ #
+
+    def _model_inputs(self, prompt_ids: List[int], output_ids: List[int]) -> Tuple[np.ndarray, Optional[np.ndarray]]:
+        """Build (decoder input, encoder input) for the current architecture."""
+        if self.model.is_encoder_decoder:
+            decoder = np.asarray([self.bos_id] + output_ids, dtype=np.int64)
+            encoder = np.asarray(prompt_ids, dtype=np.int64)
+            return decoder, encoder
+        decoder = np.asarray(prompt_ids + output_ids, dtype=np.int64)
+        return decoder, None
+
+    def _truncate_budget(self, prompt_ids: List[int], output_len: int, extra: int) -> bool:
+        """True when adding ``extra`` tokens would exceed the context window."""
+        if self.model.is_encoder_decoder:
+            used = 1 + output_len + extra
+        else:
+            used = len(prompt_ids) + output_len + extra
+        return used >= self.model.backbone.max_seq_len - 1
+
+    # ------------------------------------------------------------------ #
+    # NTP baseline
+    # ------------------------------------------------------------------ #
+
+    def _generate_ntp(
+        self, prompt_ids: List[int], config: GenerationConfig, rng: np.random.Generator
+    ) -> Tuple[List[int], List[StepRecord], bool]:
+        output_ids: List[int] = []
+        records: List[StepRecord] = []
+        stopped = False
+        for _ in range(config.max_new_tokens):
+            if self._truncate_budget(prompt_ids, len(output_ids), 1):
+                break
+            decoder, encoder = self._model_inputs(prompt_ids, output_ids)
+            base_logits, _ = self.model.forward(decoder, encoder)
+            next_token = sample_from_logits(base_logits[0, -1], config, rng)
+            output_ids.append(next_token)
+            records.append(StepRecord(proposed=1, accepted=1, committed=1, ends_at_boundary=True))
+            if next_token == self.eos_id:
+                stopped = True
+                break
+        return output_ids, records, stopped
+
+    # ------------------------------------------------------------------ #
+    # Speculative decoding (Medusa / Ours)
+    # ------------------------------------------------------------------ #
+
+    def _propose_candidates(
+        self,
+        base_logits: np.ndarray,
+        head_logits: List[np.ndarray],
+        config: GenerationConfig,
+        rng: np.random.Generator,
+    ) -> List[List[int]]:
+        """Build candidate continuations from base + head predictions."""
+        first_token = sample_from_logits(base_logits, config, rng)
+        head_count = self.max_speculative_heads
+        head_top1 = [int(np.argmax(logits)) for logits in head_logits[:head_count]]
+        head_top2 = [
+            int(top_k_token_ids(logits, 2)[1]) if logits.shape[-1] > 1 else int(np.argmax(logits))
+            for logits in head_logits[:head_count]
+        ]
+        base_top = top_k_token_ids(base_logits, self.num_candidates)
+
+        candidates: List[List[int]] = []
+        # Candidate 1: committed base token + every head's top-1.
+        candidates.append([first_token] + head_top1)
+        # Candidate 2: alternative base token + heads' top-1.
+        if len(base_top) > 1 and int(base_top[1]) != first_token:
+            candidates.append([int(base_top[1])] + head_top1)
+        elif len(base_top) > 0 and int(base_top[0]) != first_token:
+            candidates.append([int(base_top[0])] + head_top1)
+        # Candidate 3: committed base token + head-1's runner-up then top-1s.
+        if head_count >= 1:
+            alt = [first_token, head_top2[0]] + head_top1[1:]
+            candidates.append(alt)
+        return candidates[: max(self.num_candidates, 1)]
+
+    @staticmethod
+    def _greedy_match_length(logits_per_position: List[np.ndarray], candidate_tokens: List[int]) -> int:
+        """Length of the prefix whose tokens equal the base model's argmax.
+
+        This is the lossless verification used for greedy decoding: a
+        speculated token is kept only if the base model itself would have
+        produced it, so the committed sequence is identical to what plain
+        next-token prediction would generate.
+        """
+        matched = 0
+        for logits, token_id in zip(logits_per_position, candidate_tokens):
+            if int(np.argmax(logits)) != int(token_id):
+                break
+            matched += 1
+        return matched
+
+    def _verify_candidates(
+        self,
+        prompt_ids: List[int],
+        output_ids: List[int],
+        candidates: List[List[int]],
+    ) -> List[List[np.ndarray]]:
+        """Return base-model logits for every candidate position (batched)."""
+        length = max(len(c) for c in candidates)
+        padded = [c + [c[-1]] * (length - len(c)) for c in candidates]
+        batch_rows = []
+        encoder_batch = None
+        if self.model.is_encoder_decoder:
+            for candidate in padded:
+                batch_rows.append([self.bos_id] + output_ids + candidate)
+            encoder_batch = np.tile(np.asarray(prompt_ids, dtype=np.int64)[None, :], (len(padded), 1))
+        else:
+            for candidate in padded:
+                batch_rows.append(prompt_ids + output_ids + candidate)
+        batch = np.asarray(batch_rows, dtype=np.int64)
+        base_logits, _ = self.model.forward(batch, encoder_batch)
+        # Position that predicts candidate token i is (prefix_len - 1 + i).
+        prefix_len = batch.shape[1] - length
+        per_candidate: List[List[np.ndarray]] = []
+        for row, candidate in enumerate(candidates):
+            logits_list = [base_logits[row, prefix_len - 1 + i] for i in range(len(candidate))]
+            per_candidate.append(logits_list)
+        return per_candidate
+
+    def _generate_speculative(
+        self, prompt_ids: List[int], config: GenerationConfig, rng: np.random.Generator
+    ) -> Tuple[List[int], List[StepRecord], bool]:
+        output_ids: List[int] = []
+        records: List[StepRecord] = []
+        stopped = False
+        while len(output_ids) < config.max_new_tokens:
+            remaining = config.max_new_tokens - len(output_ids)
+            if self._truncate_budget(prompt_ids, len(output_ids), 1):
+                break
+            decoder, encoder = self._model_inputs(prompt_ids, output_ids)
+            base_logits, head_logits = self.model.forward(decoder, encoder)
+            last_base = base_logits[0, -1]
+            last_heads = [h[0, -1] for h in head_logits]
+            candidates = self._propose_candidates(last_base, last_heads, config, rng)
+
+            # Clip candidates to the remaining budget / context window.
+            max_extra = remaining
+            while self._truncate_budget(prompt_ids, len(output_ids), max_extra) and max_extra > 1:
+                max_extra -= 1
+            candidates = [c[:max_extra] for c in candidates]
+
+            verification = self._verify_candidates(prompt_ids, output_ids, candidates)
+
+            best_tokens: List[int] = []
+            best_accepted = 0
+            for candidate, logits_list in zip(candidates, verification):
+                # The first token comes from the base model itself and is always
+                # committed; acceptance applies to the speculated tail.  Under
+                # greedy decoding the verification is exact-match against the
+                # base model's argmax (lossless, as in Medusa's greedy mode);
+                # under sampling it is the typical-acceptance rule (eq. 1).
+                if config.greedy or config.temperature <= 0.0:
+                    accepted_tail = self._greedy_match_length(logits_list[1:], candidate[1:])
+                else:
+                    accepted_tail = self.acceptance.accepted_prefix_length(logits_list[1:], candidate[1:])
+                accepted = 1 + accepted_tail
+                tokens = candidate[:accepted]
+                if self.strategy is DecodingStrategy.OURS:
+                    tokens = truncate_to_complete_fragment(tokens, self.frag_id, eos_id=self.eos_id)
+                # EOS anywhere in the run ends the output there.
+                if self.eos_id in tokens:
+                    tokens = tokens[: tokens.index(self.eos_id) + 1]
+                if len(tokens) > len(best_tokens):
+                    best_tokens = tokens
+                    best_accepted = accepted
+            if not best_tokens:
+                best_tokens = [candidates[0][0]]
+                best_accepted = 1
+
+            output_ids.extend(best_tokens)
+            records.append(
+                StepRecord(
+                    proposed=len(candidates[0]),
+                    accepted=best_accepted,
+                    committed=len(best_tokens),
+                    ends_at_boundary=best_tokens[-1] in (self.frag_id, self.eos_id),
+                )
+            )
+            if best_tokens[-1] == self.eos_id or self.eos_id in best_tokens:
+                stopped = True
+                break
+        return output_ids, records, stopped

@@ -1,0 +1,148 @@
+"""Syntax-enriched label construction (paper Sec. III-C, Fig. 4).
+
+Given the base model's label sequence ``L0`` (the tokenized Verilog code with
+``[FRAG]`` markers), the label for head ``i`` is the left-shift ``L0[i:]``
+padded back to the original length with ``[PAD]``.  The stacked label matrix
+has shape ``(num_heads + 1, seq_len)`` with the base label in row 0.
+
+The *syntax enrichment* step then replaces, in every column, all head labels
+beyond the last ``[FRAG]`` marker with ``[IGNORE]``, so that each supervised
+prefix down the head axis ends exactly at a fragment boundary.  Two
+implementations are provided:
+
+* :func:`apply_syntax_enrichment` — the vectorised "parallel algorithm" from
+  the right panel of Fig. 4 (reverse iteration over heads with a boolean
+  fragment mask and early termination);
+* :func:`apply_syntax_enrichment_reference` — a direct per-column
+  implementation used as the oracle in property-based tests.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+
+def build_shifted_labels(base_label: Sequence[int], num_heads: int, pad_id: int) -> np.ndarray:
+    """Stack the base label and its per-head left-shifts (Fig. 4, "Before").
+
+    Args:
+        base_label: the base model's label sequence ``L0``.
+        num_heads: number of Medusa heads ``n``.
+        pad_id: id of the ``[PAD]`` token appended to shifted labels.
+
+    Returns:
+        An integer array of shape ``(num_heads + 1, len(base_label))`` whose
+        row ``i`` is ``L0[i:]`` followed by ``i`` pad tokens.
+    """
+    base = np.asarray(base_label, dtype=np.int64)
+    seq_len = base.shape[0]
+    labels = np.full((num_heads + 1, seq_len), pad_id, dtype=np.int64)
+    for i in range(num_heads + 1):
+        if i < seq_len:
+            labels[i, : seq_len - i] = base[i:]
+    return labels
+
+
+def apply_syntax_enrichment(labels: np.ndarray, frag_id: int, ignore_id: int) -> np.ndarray:
+    """Vectorised syntax-enrichment masking (the paper's parallel algorithm).
+
+    For every sequence position (column), head labels located *after* the last
+    ``[FRAG]`` token along the head axis are replaced with ``[IGNORE]`` so the
+    supervised fragment is always syntactically complete.  Columns whose head
+    labels contain no ``[FRAG]`` at all are left untouched.
+
+    The base row (row 0) is never modified.
+
+    Args:
+        labels: array of shape ``(num_heads + 1, seq_len)`` from
+            :func:`build_shifted_labels`.  The input is not modified.
+        frag_id: token id of ``[FRAG]``.
+        ignore_id: token id of ``[IGNORE]``.
+
+    Returns:
+        A new array with the masking applied.
+    """
+    out = labels.copy()
+    num_rows = out.shape[0]
+    if num_rows <= 1:
+        return out
+    # Step 1: initialise the fragment mask — columns with a [FRAG] anywhere in
+    # the head rows.
+    has_frag_mask = (out[1:, :] == frag_id).sum(axis=0) > 0
+    # Step 2: iterate over heads in reverse.
+    for i in range(num_rows - 1, 0, -1):
+        temp_mask = out[i, :] != frag_id
+        has_frag_mask &= temp_mask
+        if not has_frag_mask.any():
+            # Early termination: nothing left to mask.
+            break
+        out[i, has_frag_mask] = ignore_id
+    return out
+
+
+def apply_syntax_enrichment_reference(labels: np.ndarray, frag_id: int, ignore_id: int) -> np.ndarray:
+    """Naive per-column implementation of the syntax-enrichment masking.
+
+    Used as an oracle in tests: for each column, find the last row (head) whose
+    label is ``[FRAG]``; every later row becomes ``[IGNORE]``.  Columns without
+    any ``[FRAG]`` among the head rows are unchanged.
+    """
+    out = labels.copy()
+    num_rows, seq_len = out.shape
+    for column in range(seq_len):
+        last_frag_row: Optional[int] = None
+        for row in range(1, num_rows):
+            if out[row, column] == frag_id:
+                last_frag_row = row
+        if last_frag_row is None:
+            continue
+        for row in range(last_frag_row + 1, num_rows):
+            out[row, column] = ignore_id
+    return out
+
+
+def build_syntax_enriched_labels(
+    base_label: Sequence[int],
+    num_heads: int,
+    frag_id: int,
+    pad_id: int,
+    ignore_id: int,
+    ignore_prompt_mask: Optional[Sequence[bool]] = None,
+) -> np.ndarray:
+    """Full label-construction pipeline: shift, pad, then syntax-enrich.
+
+    Args:
+        base_label: the base model's label sequence (already containing the
+            ``[FRAG]`` markers, and possibly ``ignore_id`` at prompt positions).
+        num_heads: number of Medusa heads.
+        frag_id: id of ``[FRAG]``.
+        pad_id: id of ``[PAD]``.
+        ignore_id: id of ``[IGNORE]``.
+        ignore_prompt_mask: optional per-position mask; where True, the labels
+            of *all* rows are forced to ``ignore_id`` (used to exclude prompt
+            positions from the loss for decoder-only models).
+
+    Returns:
+        The ``(num_heads + 1, seq_len)`` label matrix used by
+        :class:`repro.core.training.MedusaLoss`.
+    """
+    labels = build_shifted_labels(base_label, num_heads, pad_id)
+    labels = apply_syntax_enrichment(labels, frag_id, ignore_id)
+    # [PAD] positions never contribute to the loss either.
+    labels[labels == pad_id] = ignore_id
+    if ignore_prompt_mask is not None:
+        mask = np.asarray(ignore_prompt_mask, dtype=bool)
+        labels[:, mask] = ignore_id
+    return labels
+
+
+def ignore_fraction_per_head(labels: np.ndarray, ignore_id: int) -> List[float]:
+    """Fraction of ``[IGNORE]`` positions in each row of the label matrix.
+
+    The paper notes that the proportion of ignored positions grows for later
+    heads, which reduces their prediction difficulty; this helper exposes that
+    statistic for tests and the ablation bench.
+    """
+    return [float(np.mean(labels[row] == ignore_id)) for row in range(labels.shape[0])]

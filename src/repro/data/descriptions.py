@@ -1,0 +1,118 @@
+"""Natural-language description generation (GPT-4 substitute).
+
+The paper uses GPT-4 to generate functional descriptions for the GitHub
+portion of its corpus, and reuses the summaries shipped with MG-Verilog and
+RTLCoder.  Offline, :func:`describe_design` produces instruction-style
+descriptions from templates parameterised by the design family and its
+generation parameters.  Several phrasings exist per family so the instruction
+side of the dataset has lexical variety.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict
+
+_TEMPLATES: Dict[str, list] = {
+    "mux": [
+        "Write a Verilog module named {name} that implements a {inputs}-to-1 multiplexer for {width}-bit data.",
+        "Create a {width}-bit wide {inputs}-input multiplexer called {name} that selects one of its data inputs based on the select signal.",
+        "Design a Verilog multiplexer module {name} with {inputs} data inputs of {width} bits each and a select input.",
+    ],
+    "register": [
+        "Write a Verilog module named {name} that implements a {width}-bit register which captures data_in on the positive edge of the clock.",
+        "Create a {width}-bit data register called {name} using non-blocking assignment on the rising clock edge.",
+        "Design a clocked register module {name} that stores a {width}-bit input value.",
+    ],
+    "counter": [
+        "Write a Verilog module named {name} that implements a {width}-bit {direction} counter with synchronous enable and asynchronous reset.",
+        "Create a {width}-bit {direction} counter called {name}; it should reset to zero and count when enable is high.",
+        "Design a counter module {name} that counts {direction} by one every clock cycle when enabled, with width {width} bits.",
+    ],
+    "adder": [
+        "Write a Verilog module named {name} that adds two {width}-bit operands{carry_clause}.",
+        "Create a {width}-bit adder called {name} computing the sum of inputs a and b{carry_clause}.",
+        "Design a combinational adder module {name} for {width}-bit inputs{carry_clause}.",
+    ],
+    "alu": [
+        "Write a Verilog module named {name} implementing a {width}-bit ALU with {num_ops} operations selected by an opcode input, plus a zero flag.",
+        "Create an arithmetic logic unit called {name} that performs {num_ops} operations on {width}-bit operands and reports when the result is zero.",
+        "Design a {width}-bit ALU module {name} supporting addition, subtraction and bitwise operations chosen by the op input.",
+    ],
+    "decoder": [
+        "Write a Verilog module named {name} that decodes a {in_width}-bit input into a one-hot {out_width}-bit output.",
+        "Create a {in_width}-to-{out_width} one-hot decoder called {name}.",
+        "Design a binary decoder module {name} with a {in_width}-bit select input and {out_width} output lines.",
+    ],
+    "encoder": [
+        "Write a Verilog module named {name} that implements a 4-to-2 priority encoder with a valid output.",
+        "Create a priority encoder called {name} that reports the index of the highest asserted input bit.",
+        "Design a 4-input priority encoder module {name} with a valid flag for the all-zero case.",
+    ],
+    "shifter": [
+        "Write a Verilog module named {name} that implements a {width}-bit {kind}.",
+        "Create a {width}-bit {kind} called {name}.",
+        "Design a {kind} module {name} operating on {width}-bit data.",
+    ],
+    "comparator": [
+        "Write a Verilog module named {name} that compares two {width}-bit inputs and outputs equality, greater-than and less-than flags.",
+        "Create a {width}-bit magnitude comparator called {name} with eq, gt and lt outputs.",
+        "Design a comparator module {name} for two {width}-bit unsigned numbers.",
+    ],
+    "fsm": [
+        "Write a Verilog module named {name} that implements a {num_states}-state control FSM with start and done inputs and a busy output.",
+        "Create a finite state machine called {name} with {num_states} states that asserts busy while running.",
+        "Design a sequential controller module {name}; it leaves IDLE on start and returns after done, using {num_states} states.",
+    ],
+    "gray": [
+        "Write a Verilog module named {name} that converts a {width}-bit binary number to Gray code.",
+        "Create a binary-to-Gray converter called {name} for {width}-bit inputs.",
+        "Design a combinational module {name} producing the Gray code of its {width}-bit binary input.",
+    ],
+    "parity": [
+        "Write a Verilog module named {name} that computes the {kind} parity of a {width}-bit input.",
+        "Create a {kind} parity generator called {name} for {width}-bit data.",
+        "Design a parity module {name} that outputs the {kind} parity bit of its {width}-bit input.",
+    ],
+    "clkdiv": [
+        "Write a Verilog module named {name} that divides the input clock frequency by {divide_by} using a counter.",
+        "Create a clock divider called {name} with a divide ratio of {divide_by}.",
+        "Design a frequency divider module {name} producing an output clock at 1/{divide_by} of the input rate.",
+    ],
+    "edge": [
+        "Write a Verilog module named {name} that detects a {edge_kind} edge on its input and produces a single-cycle pulse.",
+        "Create a {edge_kind}-edge detector called {name} generating a pulse when the input transitions.",
+        "Design an edge detector module {name} for {edge_kind} transitions of signal_in.",
+    ],
+}
+
+
+def describe_design(family: str, name: str, parameters: Dict[str, int]) -> str:
+    """Produce a natural-language description of a generated design.
+
+    The template is chosen deterministically from the design name so the same
+    item always receives the same description (important for dataset
+    reproducibility and deduplication).
+    """
+    templates = _TEMPLATES.get(family)
+    if not templates:
+        return f"Write a Verilog module named {name}."
+    digest = int(hashlib.sha256(f"{family}:{name}".encode()).hexdigest(), 16)
+    template = templates[digest % len(templates)]
+    fields = {
+        "name": name,
+        "width": parameters.get("width", 8),
+        "inputs": parameters.get("inputs", 2),
+        "num_ops": parameters.get("num_ops", 4),
+        "in_width": parameters.get("in_width", 2),
+        "out_width": parameters.get("out_width", 4),
+        "num_states": parameters.get("num_states", 3),
+        "divide_by": parameters.get("divide_by", 4),
+        "direction": "down" if parameters.get("down") else "up",
+        "carry_clause": " with carry-in and carry-out" if parameters.get("with_carry") else "",
+        "kind": "serial shift register" if parameters.get("serial") else "bidirectional barrel shifter",
+        "edge_kind": "falling" if parameters.get("falling") else "rising",
+    }
+    if family == "parity":
+        fields["kind"] = "odd" if parameters.get("odd") else "even"
+    return template.format(**fields)

@@ -1,0 +1,140 @@
+"""MinHash signatures and Jaccard-similarity deduplication (paper Sec. III-A).
+
+The paper removes duplicate Verilog modules "using MinHash and Jaccard
+similarity metrics".  This module implements both pieces:
+
+* :func:`minhash_signature` — a k-permutation MinHash signature over token
+  shingles of a document;
+* :func:`jaccard_similarity` — the exact Jaccard similarity between two
+  shingle sets (used to verify candidate pairs and in tests);
+* :class:`MinHashDeduplicator` — LSH-style banding over signatures to find
+  candidate near-duplicates, verified with the estimated Jaccard similarity.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import re
+from typing import Dict, Iterable, List, Sequence, Set, Tuple
+
+import numpy as np
+
+_TOKEN_PATTERN = re.compile(r"[A-Za-z_][A-Za-z0-9_]*|\d+|[^\sA-Za-z0-9_]")
+
+_MERSENNE_PRIME = (1 << 61) - 1
+_MAX_HASH = (1 << 32) - 1
+
+
+def _tokenize(text: str) -> List[str]:
+    return _TOKEN_PATTERN.findall(text)
+
+
+def shingles(text: str, size: int = 3) -> Set[str]:
+    """Token shingles (n-grams) of ``text``."""
+    tokens = _tokenize(text)
+    if len(tokens) < size:
+        return {" ".join(tokens)} if tokens else set()
+    return {" ".join(tokens[i : i + size]) for i in range(len(tokens) - size + 1)}
+
+
+def jaccard_similarity(text_a: str, text_b: str, shingle_size: int = 3) -> float:
+    """Exact Jaccard similarity between the shingle sets of two documents."""
+    set_a = shingles(text_a, shingle_size)
+    set_b = shingles(text_b, shingle_size)
+    if not set_a and not set_b:
+        return 1.0
+    if not set_a or not set_b:
+        return 0.0
+    return len(set_a & set_b) / len(set_a | set_b)
+
+
+def _stable_hash(value: str) -> int:
+    return int.from_bytes(hashlib.blake2b(value.encode(), digest_size=8).digest(), "big")
+
+
+def minhash_signature(text: str, num_permutations: int = 64, shingle_size: int = 3, seed: int = 1) -> np.ndarray:
+    """MinHash signature of ``text`` using ``num_permutations`` hash functions."""
+    rng = np.random.default_rng(seed)
+    coefficients_a = rng.integers(1, _MERSENNE_PRIME, size=num_permutations, dtype=np.int64)
+    coefficients_b = rng.integers(0, _MERSENNE_PRIME, size=num_permutations, dtype=np.int64)
+    doc_shingles = shingles(text, shingle_size)
+    signature = np.full(num_permutations, np.iinfo(np.int64).max, dtype=np.int64)
+    for shingle in doc_shingles:
+        base = _stable_hash(shingle) & _MAX_HASH
+        hashes = (coefficients_a * base + coefficients_b) % _MERSENNE_PRIME
+        signature = np.minimum(signature, hashes)
+    return signature
+
+
+def estimated_jaccard(signature_a: np.ndarray, signature_b: np.ndarray) -> float:
+    """Estimate Jaccard similarity as the fraction of matching signature slots."""
+    if signature_a.shape != signature_b.shape or signature_a.size == 0:
+        return 0.0
+    return float(np.mean(signature_a == signature_b))
+
+
+class MinHashDeduplicator:
+    """Near-duplicate removal with MinHash + LSH banding.
+
+    Documents whose estimated Jaccard similarity exceeds ``threshold`` are
+    considered duplicates; only the first occurrence is kept.
+    """
+
+    def __init__(
+        self,
+        threshold: float = 0.8,
+        num_permutations: int = 64,
+        bands: int = 16,
+        shingle_size: int = 3,
+        seed: int = 1,
+    ) -> None:
+        if num_permutations % bands != 0:
+            raise ValueError("num_permutations must be divisible by bands")
+        self.threshold = threshold
+        self.num_permutations = num_permutations
+        self.bands = bands
+        self.rows_per_band = num_permutations // bands
+        self.shingle_size = shingle_size
+        self.seed = seed
+
+    def deduplicate(self, documents: Sequence[str]) -> Tuple[List[int], List[Tuple[int, int]]]:
+        """Return (kept indices, duplicate pairs) over ``documents``.
+
+        A duplicate pair ``(i, j)`` with ``i < j`` means document ``j`` was
+        dropped because it is a near-duplicate of document ``i``.
+        """
+        signatures = [
+            minhash_signature(doc, self.num_permutations, self.shingle_size, self.seed) for doc in documents
+        ]
+        buckets: Dict[Tuple[int, bytes], List[int]] = {}
+        duplicates: List[Tuple[int, int]] = []
+        dropped: Set[int] = set()
+
+        for index, signature in enumerate(signatures):
+            if index in dropped:
+                continue
+            candidate_set: Set[int] = set()
+            keys = []
+            for band in range(self.bands):
+                start = band * self.rows_per_band
+                key = (band, signature[start : start + self.rows_per_band].tobytes())
+                keys.append(key)
+                for other in buckets.get(key, []):
+                    candidate_set.add(other)
+            is_duplicate = False
+            for other in sorted(candidate_set):
+                if other in dropped:
+                    continue
+                similarity = estimated_jaccard(signature, signatures[other])
+                if similarity >= self.threshold:
+                    duplicates.append((other, index))
+                    dropped.add(index)
+                    is_duplicate = True
+                    break
+            if is_duplicate:
+                continue
+            for key in keys:
+                buckets.setdefault(key, []).append(index)
+
+        kept = [i for i in range(len(documents)) if i not in dropped]
+        return kept, duplicates

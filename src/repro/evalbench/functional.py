@@ -1,0 +1,37 @@
+"""Functional-correctness grading.
+
+A design is functionally correct when its outputs match the expected results
+for all testbench-provided stimuli (paper Sec. IV-B.2).  The self-checking
+testbenches in :mod:`repro.evalbench.designs` encode the expected values and
+print ``TEST PASSED`` only when every check succeeds, so functional grading
+reduces to running the simulation and inspecting its output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.evalbench.problems import Problem
+from repro.sim.testbench import run_testbench
+
+
+@dataclass
+class FunctionalEvalResult:
+    """Outcome of a functional check."""
+
+    compiled: bool
+    passed: bool
+    output: str = ""
+    errors: List[str] = field(default_factory=list)
+
+
+def check_design_functional(design: str, problem: Problem, max_time: int = 100_000) -> FunctionalEvalResult:
+    """Simulate ``design`` against ``problem``'s testbench and grade the output."""
+    result = run_testbench(design, problem.testbench, max_time=max_time)
+    return FunctionalEvalResult(
+        compiled=result.compiled,
+        passed=result.passed,
+        output=result.output,
+        errors=result.errors,
+    )

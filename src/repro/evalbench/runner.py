@@ -1,0 +1,119 @@
+"""End-to-end quality evaluation runner.
+
+:class:`EvaluationRunner` reproduces the paper's quality protocol (Sec. IV-A.3
+and IV-B.2): for each benchmark prompt it samples ``n`` responses spread over a
+set of temperatures, grades every response for syntax and functional
+correctness, and aggregates pass@k (k in {1, 5, 10}) plus Pass Rate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.decoding import SpeculativeDecoder
+from repro.evalbench.functional import check_design_functional
+from repro.evalbench.passk import pass_at_k, pass_rate
+from repro.evalbench.problems import Problem, ProblemSuite
+from repro.evalbench.syntax_eval import check_design_compiles
+from repro.models.generation import GenerationConfig
+
+
+@dataclass
+class PromptEvaluation:
+    """Per-prompt grading outcome."""
+
+    problem_name: str
+    samples: List[str] = field(default_factory=list)
+    syntax_flags: List[bool] = field(default_factory=list)
+    functional_flags: List[bool] = field(default_factory=list)
+
+
+@dataclass
+class QualityReport:
+    """Aggregated quality metrics for one suite/model/strategy."""
+
+    suite: str
+    label: str
+    num_prompts: int
+    samples_per_prompt: int
+    syntax_pass_at_k: Dict[int, float]
+    function_pass_at_k: Dict[int, float]
+    syntax_pass_rate: float
+    function_pass_rate: float
+    prompt_results: List[PromptEvaluation] = field(default_factory=list)
+
+    def row(self, metric: str = "function") -> Dict[str, float]:
+        """One Table-I-style row: pass@1/5/10 plus Pass Rate, in percent."""
+        source = self.function_pass_at_k if metric == "function" else self.syntax_pass_at_k
+        rate = self.function_pass_rate if metric == "function" else self.syntax_pass_rate
+        return {
+            "pass@1": 100.0 * source.get(1, 0.0),
+            "pass@5": 100.0 * source.get(5, 0.0),
+            "pass@10": 100.0 * source.get(10, 0.0),
+            "pass_rate": 100.0 * rate,
+        }
+
+
+class EvaluationRunner:
+    """Samples model outputs for a problem suite and grades them."""
+
+    def __init__(
+        self,
+        decoder: SpeculativeDecoder,
+        samples_per_prompt: int = 20,
+        temperatures: Sequence[float] = (0.2, 0.4, 0.6, 0.8),
+        max_new_tokens: int = 160,
+        k_values: Sequence[int] = (1, 5, 10),
+    ) -> None:
+        self.decoder = decoder
+        self.samples_per_prompt = samples_per_prompt
+        self.temperatures = list(temperatures)
+        self.max_new_tokens = max_new_tokens
+        self.k_values = list(k_values)
+
+    def generate_samples(self, problem: Problem) -> List[str]:
+        """Generate ``samples_per_prompt`` candidate designs for ``problem``."""
+        samples: List[str] = []
+        for index in range(self.samples_per_prompt):
+            temperature = self.temperatures[index % len(self.temperatures)]
+            if index == 0:
+                config = GenerationConfig.greedy_config(self.max_new_tokens)
+            else:
+                config = GenerationConfig.sampling_config(temperature, self.max_new_tokens, seed=index)
+            result = self.decoder.generate_from_text(problem.prompt, config)
+            samples.append(result.code)
+        return samples
+
+    def evaluate_problem(self, problem: Problem, samples: Optional[List[str]] = None) -> PromptEvaluation:
+        """Grade (and if needed generate) samples for one problem."""
+        if samples is None:
+            samples = self.generate_samples(problem)
+        evaluation = PromptEvaluation(problem_name=problem.name, samples=samples)
+        for design in samples:
+            syntax = check_design_compiles(design, problem.testbench)
+            evaluation.syntax_flags.append(syntax.compiles)
+            if syntax.compiles:
+                functional = check_design_functional(design, problem)
+                evaluation.functional_flags.append(functional.passed)
+            else:
+                evaluation.functional_flags.append(False)
+        return evaluation
+
+    def evaluate_suite(self, suite: ProblemSuite, label: str = "", problems: Optional[Sequence[Problem]] = None) -> QualityReport:
+        """Evaluate every problem in ``suite`` and aggregate the metrics."""
+        selected = list(problems) if problems is not None else list(suite)
+        prompt_results = [self.evaluate_problem(problem) for problem in selected]
+        syntax_matrix = [p.syntax_flags for p in prompt_results]
+        function_matrix = [p.functional_flags for p in prompt_results]
+        return QualityReport(
+            suite=suite.name,
+            label=label,
+            num_prompts=len(selected),
+            samples_per_prompt=self.samples_per_prompt,
+            syntax_pass_at_k={k: pass_at_k(syntax_matrix, k) for k in self.k_values},
+            function_pass_at_k={k: pass_at_k(function_matrix, k) for k in self.k_values},
+            syntax_pass_rate=pass_rate(syntax_matrix),
+            function_pass_rate=pass_rate(function_matrix),
+            prompt_results=prompt_results,
+        )

@@ -1,0 +1,15 @@
+"""Model zoo: scale-reduced CodeLlama/CodeT5p substitutes and Medusa wrapper."""
+
+from repro.models.decoder_lm import TinyCodeLlama
+from repro.models.encdec_lm import TinyCodeT5p
+from repro.models.medusa import MedusaHead, MedusaLM
+from repro.models.generation import GenerationConfig, sample_from_logits
+
+__all__ = [
+    "TinyCodeLlama",
+    "TinyCodeT5p",
+    "MedusaHead",
+    "MedusaLM",
+    "GenerationConfig",
+    "sample_from_logits",
+]

@@ -1,0 +1,74 @@
+"""Decoder-only language model backbone (CodeLlama substitute).
+
+``TinyCodeLlama`` mirrors the role CodeLlama-7b-Instruct plays in the paper: a
+decoder-only causal transformer whose last hidden states feed the LM head and,
+in the Medusa configuration, the additional decoding heads.  The scale is
+reduced to something trainable on a CPU in seconds, but the architecture
+(causal self-attention stack over a shared token/position embedding) and the
+interface used by training and decoding are the same.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.nn.transformer import DecoderOnlyTransformer
+
+
+@dataclass
+class DecoderConfig:
+    """Hyper-parameters of the decoder-only backbone."""
+
+    vocab_size: int
+    dim: int = 64
+    num_layers: int = 2
+    num_heads: int = 4
+    max_seq_len: int = 512
+    seed: int = 0
+
+
+class TinyCodeLlama:
+    """Decoder-only backbone with the interface expected by :class:`MedusaLM`."""
+
+    architecture = "decoder-only"
+
+    def __init__(self, config: DecoderConfig) -> None:
+        self.config = config
+        self.transformer = DecoderOnlyTransformer(
+            vocab_size=config.vocab_size,
+            dim=config.dim,
+            num_layers=config.num_layers,
+            num_heads=config.num_heads,
+            max_seq_len=config.max_seq_len,
+            seed=config.seed,
+        )
+
+    @property
+    def dim(self) -> int:
+        return self.config.dim
+
+    @property
+    def max_seq_len(self) -> int:
+        return self.config.max_seq_len
+
+    def hidden_states(self, input_ids: np.ndarray, encoder_ids: Optional[np.ndarray] = None) -> np.ndarray:
+        """Return last hidden states for ``input_ids`` (encoder_ids is unused)."""
+        del encoder_ids
+        return self.transformer.forward(np.asarray(input_ids, dtype=np.int64))
+
+    def backward(self, grad_hidden: np.ndarray) -> None:
+        """Backpropagate a gradient arriving at the hidden states."""
+        self.transformer.backward(grad_hidden)
+
+    def parameters(self):
+        """Trainable parameters of the backbone."""
+        return self.transformer.parameters()
+
+    def zero_grad(self) -> None:
+        self.transformer.zero_grad()
+
+    def num_parameters(self) -> int:
+        return self.transformer.num_parameters()

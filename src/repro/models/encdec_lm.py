@@ -1,0 +1,83 @@
+"""Encoder-decoder language model backbone (CodeT5p substitute).
+
+``TinyCodeT5p`` plays the role of CodeT5p-220m-bimodal in the paper: an
+encoder-decoder model where the natural-language prompt is consumed by the
+encoder and the Verilog code is produced by the decoder.  The Medusa heads are
+attached to the decoder's last hidden states, exactly as in the paper's Fig. 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.nn.transformer import EncoderDecoderTransformer
+
+
+@dataclass
+class EncDecConfig:
+    """Hyper-parameters of the encoder-decoder backbone."""
+
+    vocab_size: int
+    dim: int = 64
+    num_encoder_layers: int = 2
+    num_decoder_layers: int = 2
+    num_heads: int = 4
+    max_seq_len: int = 512
+    seed: int = 0
+
+
+class TinyCodeT5p:
+    """Encoder-decoder backbone with the interface expected by :class:`MedusaLM`."""
+
+    architecture = "encoder-decoder"
+
+    def __init__(self, config: EncDecConfig) -> None:
+        self.config = config
+        self.transformer = EncoderDecoderTransformer(
+            vocab_size=config.vocab_size,
+            dim=config.dim,
+            num_encoder_layers=config.num_encoder_layers,
+            num_decoder_layers=config.num_decoder_layers,
+            num_heads=config.num_heads,
+            max_seq_len=config.max_seq_len,
+            seed=config.seed,
+        )
+
+    @property
+    def dim(self) -> int:
+        return self.config.dim
+
+    @property
+    def max_seq_len(self) -> int:
+        return self.config.max_seq_len
+
+    def encode(self, encoder_ids: np.ndarray) -> np.ndarray:
+        """Run (and cache) the encoder over the prompt ids."""
+        return self.transformer.encode(np.asarray(encoder_ids, dtype=np.int64))
+
+    def hidden_states(self, input_ids: np.ndarray, encoder_ids: Optional[np.ndarray] = None) -> np.ndarray:
+        """Return decoder hidden states for ``input_ids`` given the prompt.
+
+        ``encoder_ids`` re-runs the encoder; when omitted, the memory cached by
+        the last :meth:`encode` call is reused (the generation loop encodes the
+        prompt once and then decodes incrementally).
+        """
+        encoder = None if encoder_ids is None else np.asarray(encoder_ids, dtype=np.int64)
+        return self.transformer.forward(np.asarray(input_ids, dtype=np.int64), encoder)
+
+    def backward(self, grad_hidden: np.ndarray) -> None:
+        """Backpropagate a gradient arriving at the decoder hidden states."""
+        self.transformer.backward(grad_hidden)
+
+    def parameters(self):
+        """Trainable parameters of the backbone."""
+        return self.transformer.parameters()
+
+    def zero_grad(self) -> None:
+        self.transformer.zero_grad()
+
+    def num_parameters(self) -> int:
+        return self.transformer.num_parameters()

@@ -1,0 +1,66 @@
+"""Sampling utilities shared by the NTP baseline and speculative decoding.
+
+The paper evaluates two decoding regimes per prompt: greedy decoding and
+sampling at a fixed temperature.  Both reduce to picking a token from a logits
+vector; :func:`sample_from_logits` implements that choice deterministically for
+greedy decoding and via a seeded random generator for temperature sampling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.nn.functional import softmax
+
+
+@dataclass
+class GenerationConfig:
+    """Configuration of a single generation run."""
+
+    max_new_tokens: int = 192
+    temperature: float = 0.0
+    top_k: int = 0
+    greedy: bool = True
+    seed: int = 0
+
+    @classmethod
+    def greedy_config(cls, max_new_tokens: int = 192) -> "GenerationConfig":
+        return cls(max_new_tokens=max_new_tokens, temperature=0.0, greedy=True)
+
+    @classmethod
+    def sampling_config(cls, temperature: float = 0.8, max_new_tokens: int = 192, seed: int = 0) -> "GenerationConfig":
+        return cls(max_new_tokens=max_new_tokens, temperature=temperature, greedy=False, seed=seed)
+
+
+def sample_from_logits(
+    logits: np.ndarray,
+    config: GenerationConfig,
+    rng: Optional[np.random.Generator] = None,
+) -> int:
+    """Pick a token id from a ``(V,)`` logits vector.
+
+    Greedy configurations return the argmax.  Sampling configurations divide
+    the logits by the temperature, optionally truncate to the top-k most
+    probable tokens, and draw from the resulting distribution.
+    """
+    if config.greedy or config.temperature <= 0.0:
+        return int(np.argmax(logits))
+    scaled = logits / max(config.temperature, 1e-6)
+    if config.top_k and config.top_k > 0:
+        top_indices = np.argpartition(scaled, -config.top_k)[-config.top_k :]
+        mask = np.full_like(scaled, -np.inf)
+        mask[top_indices] = scaled[top_indices]
+        scaled = mask
+    probabilities = softmax(scaled)
+    generator = rng if rng is not None else np.random.default_rng(config.seed)
+    return int(generator.choice(len(probabilities), p=probabilities))
+
+
+def top_k_token_ids(logits: np.ndarray, k: int) -> np.ndarray:
+    """Return the ``k`` most probable token ids, most probable first."""
+    k = min(k, logits.shape[-1])
+    indices = np.argpartition(logits, -k)[-k:]
+    return indices[np.argsort(logits[indices])[::-1]]

@@ -1,0 +1,147 @@
+"""Medusa wrapper: a base LM head plus additional decoding heads.
+
+Following MEDUSA (and the paper's Fig. 2), ``MedusaLM`` attaches ``n``
+additional decoding heads to the backbone's last hidden states.  At decoding
+position ``t`` the base head predicts the token at ``t+1`` while head ``i``
+predicts the token at ``t+i+1``.  Each Medusa head is a residual block
+(linear + GELU + skip connection) followed by its own vocabulary projection,
+matching the original Medusa head construction.
+
+The same wrapper serves three training/decoding regimes:
+
+* **NTP** — ``num_medusa_heads=0``: a plain next-token-prediction model;
+* **Medusa** — heads trained with plain shifted labels (Medusa-2 style joint
+  fine-tuning);
+* **Ours** — heads trained with the syntax-enriched labels from
+  :mod:`repro.core.labels`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.nn.layers import Linear, Module
+from repro.nn.functional import gelu, gelu_grad
+
+
+class MedusaHead(Module):
+    """One Medusa decoding head: residual block + vocabulary projection."""
+
+    def __init__(self, dim: int, vocab_size: int, rng: np.random.Generator, index: int) -> None:
+        self.res_linear = Linear(dim, dim, rng, name=f"medusa{index}.res")
+        self.lm_head = Linear(dim, vocab_size, rng, name=f"medusa{index}.lm")
+        self.index = index
+        self._pre_activation: Optional[np.ndarray] = None
+        self._input: Optional[np.ndarray] = None
+
+    def forward(self, hidden: np.ndarray) -> np.ndarray:
+        """Map hidden states ``(B, T, D)`` to logits ``(B, T, V)``."""
+        self._input = hidden
+        pre = self.res_linear.forward(hidden)
+        self._pre_activation = pre
+        residual = hidden + gelu(pre)
+        return self.lm_head.forward(residual)
+
+    def backward(self, grad_logits: np.ndarray) -> np.ndarray:
+        """Return the gradient with respect to the incoming hidden states."""
+        grad_residual = self.lm_head.backward(grad_logits)
+        grad_pre = grad_residual * gelu_grad(self._pre_activation)
+        grad_hidden = self.res_linear.backward(grad_pre)
+        return grad_residual + grad_hidden
+
+
+class MedusaLM(Module):
+    """Backbone + base LM head + ``n`` Medusa heads."""
+
+    def __init__(
+        self,
+        backbone,
+        vocab_size: int,
+        num_medusa_heads: int = 10,
+        seed: int = 0,
+        head_lr_scale: float = 4.0,
+    ) -> None:
+        rng = np.random.default_rng(seed + 1)
+        self.backbone = backbone
+        self.vocab_size = vocab_size
+        self.num_medusa_heads = num_medusa_heads
+        self.base_head = Linear(backbone.dim, vocab_size, rng, name="base_head")
+        self.medusa_heads: List[MedusaHead] = [
+            MedusaHead(backbone.dim, vocab_size, rng, index=i) for i in range(num_medusa_heads)
+        ]
+        # The paper trains the decoding heads at 4x the base learning rate.
+        for head in self.medusa_heads:
+            head.set_lr_scale(head_lr_scale)
+        self._last_hidden: Optional[np.ndarray] = None
+
+    # -- forward -------------------------------------------------------------
+
+    @property
+    def architecture(self) -> str:
+        return self.backbone.architecture
+
+    @property
+    def is_encoder_decoder(self) -> bool:
+        return self.backbone.architecture == "encoder-decoder"
+
+    def forward(
+        self, input_ids: np.ndarray, encoder_ids: Optional[np.ndarray] = None
+    ) -> Tuple[np.ndarray, List[np.ndarray]]:
+        """Compute base-head and Medusa-head logits.
+
+        Args:
+            input_ids: ``(T,)`` or ``(B, T)`` decoder-side token ids (for
+                decoder-only backbones this is prompt+output concatenated).
+            encoder_ids: prompt ids for encoder-decoder backbones.
+
+        Returns:
+            ``(base_logits, head_logits)`` where ``base_logits`` has shape
+            ``(B, T, V)`` and ``head_logits`` is a list of the same shape, one
+            per Medusa head.
+        """
+        hidden = self.backbone.hidden_states(input_ids, encoder_ids)
+        self._last_hidden = hidden
+        base_logits = self.base_head.forward(hidden)
+        head_logits = [head.forward(hidden) for head in self.medusa_heads]
+        return base_logits, head_logits
+
+    def backward(self, grad_base: np.ndarray, grad_heads: Sequence[np.ndarray]) -> None:
+        """Backpropagate per-head logit gradients into the backbone."""
+        grad_hidden = self.base_head.backward(grad_base)
+        for head, grad in zip(self.medusa_heads, grad_heads):
+            grad_hidden = grad_hidden + head.backward(grad)
+        self.backbone.backward(grad_hidden)
+
+    # -- parameters -----------------------------------------------------------
+
+    def parameters(self):
+        yield from self.backbone.parameters()
+        yield from self.base_head.parameters()
+        for head in self.medusa_heads:
+            yield from head.parameters()
+
+    def zero_grad(self) -> None:
+        self.backbone.zero_grad()
+        self.base_head.zero_grad()
+        for head in self.medusa_heads:
+            head.zero_grad()
+
+    def num_parameters(self) -> int:
+        total = self.backbone.num_parameters() + self.base_head.num_parameters()
+        return total + sum(head.num_parameters() for head in self.medusa_heads)
+
+    # -- convenience ----------------------------------------------------------
+
+    def encode_prompt(self, prompt_ids: np.ndarray) -> None:
+        """For encoder-decoder backbones: run and cache the encoder."""
+        if self.is_encoder_decoder:
+            self.backbone.encode(np.asarray(prompt_ids, dtype=np.int64))
+
+    def last_position_logits(
+        self, input_ids: np.ndarray, encoder_ids: Optional[np.ndarray] = None
+    ) -> Tuple[np.ndarray, List[np.ndarray]]:
+        """Logits at the final sequence position only (``(V,)`` arrays)."""
+        base_logits, head_logits = self.forward(input_ids, encoder_ids)
+        return base_logits[0, -1], [h[0, -1] for h in head_logits]

@@ -1,0 +1,43 @@
+"""Minimal numpy neural-network substrate.
+
+The paper fine-tunes CodeLlama-7b and CodeT5p-220m on GPUs.  This subpackage
+provides the reproduction's scale-reduced substitute: transformer models
+implemented directly on numpy with hand-written backpropagation, an AdamW
+optimizer and the loss functions the paper's training objective needs
+(cross-entropy with an ignore index, entropy for the typical-acceptance rule).
+"""
+
+from repro.nn.functional import (
+    softmax,
+    log_softmax,
+    cross_entropy,
+    cross_entropy_grad,
+    entropy,
+    gelu,
+    gelu_grad,
+)
+from repro.nn.layers import Parameter, Module, Linear, Embedding, LayerNorm, CausalSelfAttention, FeedForward
+from repro.nn.transformer import TransformerBlock, DecoderOnlyTransformer, EncoderDecoderTransformer
+from repro.nn.optim import AdamW, WarmupCosineSchedule
+
+__all__ = [
+    "softmax",
+    "log_softmax",
+    "cross_entropy",
+    "cross_entropy_grad",
+    "entropy",
+    "gelu",
+    "gelu_grad",
+    "Parameter",
+    "Module",
+    "Linear",
+    "Embedding",
+    "LayerNorm",
+    "CausalSelfAttention",
+    "FeedForward",
+    "TransformerBlock",
+    "DecoderOnlyTransformer",
+    "EncoderDecoderTransformer",
+    "AdamW",
+    "WarmupCosineSchedule",
+]

@@ -1,0 +1,94 @@
+"""Numerically-stable functional primitives used across the NN substrate."""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+
+def softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Softmax along ``axis`` with max-subtraction for stability."""
+    shifted = x - np.max(x, axis=axis, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / np.sum(exp, axis=axis, keepdims=True)
+
+
+def log_softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Log-softmax along ``axis``."""
+    shifted = x - np.max(x, axis=axis, keepdims=True)
+    return shifted - np.log(np.sum(np.exp(shifted), axis=axis, keepdims=True))
+
+
+def entropy(probabilities: np.ndarray, axis: int = -1, eps: float = 1e-12) -> np.ndarray:
+    """Shannon entropy of a probability distribution (natural log).
+
+    Used by the typical-acceptance criterion (paper eq. 1), where the
+    acceptance threshold is scaled by ``exp(-H(p_base))``.
+    """
+    clipped = np.clip(probabilities, eps, 1.0)
+    return -np.sum(probabilities * np.log(clipped), axis=axis)
+
+
+def cross_entropy(
+    logits: np.ndarray, targets: np.ndarray, ignore_index: Optional[int] = None
+) -> Tuple[float, np.ndarray, int]:
+    """Token-level cross-entropy loss.
+
+    Args:
+        logits: array of shape ``(N, vocab)``.
+        targets: integer array of shape ``(N,)``.
+        ignore_index: target value excluded from the loss (the paper's
+            ``[IGNORE]`` token id).
+
+    Returns:
+        ``(loss, probabilities, count)`` where ``loss`` is the mean negative
+        log-likelihood over non-ignored positions, ``probabilities`` is the
+        softmax of the logits (needed for the backward pass) and ``count`` is
+        the number of positions that contributed to the loss.
+    """
+    probabilities = softmax(logits, axis=-1)
+    n = logits.shape[0]
+    if ignore_index is not None:
+        mask = targets != ignore_index
+    else:
+        mask = np.ones(n, dtype=bool)
+    count = int(mask.sum())
+    if count == 0:
+        return 0.0, probabilities, 0
+    safe_targets = np.where(mask, targets, 0)
+    picked = probabilities[np.arange(n), safe_targets]
+    log_likelihood = np.log(np.clip(picked, 1e-12, 1.0))
+    loss = -float(np.sum(log_likelihood * mask)) / count
+    return loss, probabilities, count
+
+
+def cross_entropy_grad(
+    probabilities: np.ndarray, targets: np.ndarray, ignore_index: Optional[int] = None
+) -> np.ndarray:
+    """Gradient of :func:`cross_entropy` with respect to the logits."""
+    n, _ = probabilities.shape
+    if ignore_index is not None:
+        mask = targets != ignore_index
+    else:
+        mask = np.ones(n, dtype=bool)
+    count = max(int(mask.sum()), 1)
+    grad = probabilities.copy()
+    safe_targets = np.where(mask, targets, 0)
+    grad[np.arange(n), safe_targets] -= 1.0
+    grad *= mask[:, None] / count
+    return grad
+
+
+def gelu(x: np.ndarray) -> np.ndarray:
+    """Gaussian error linear unit (tanh approximation)."""
+    return 0.5 * x * (1.0 + np.tanh(np.sqrt(2.0 / np.pi) * (x + 0.044715 * x**3)))
+
+
+def gelu_grad(x: np.ndarray) -> np.ndarray:
+    """Derivative of :func:`gelu` with respect to its input."""
+    c = np.sqrt(2.0 / np.pi)
+    inner = c * (x + 0.044715 * x**3)
+    tanh_inner = np.tanh(inner)
+    sech2 = 1.0 - tanh_inner**2
+    return 0.5 * (1.0 + tanh_inner) + 0.5 * x * sech2 * c * (1.0 + 3 * 0.044715 * x**2)

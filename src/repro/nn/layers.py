@@ -1,0 +1,292 @@
+"""Core neural-network layers with explicit forward/backward passes.
+
+Every layer follows the same contract:
+
+* ``forward(x)`` computes the output and stashes whatever the backward pass
+  needs on the instance;
+* ``backward(grad_output)`` returns the gradient with respect to the input and
+  accumulates parameter gradients into ``Parameter.grad``;
+* ``parameters()`` yields all trainable :class:`Parameter` objects.
+
+Shapes follow the convention ``(batch, time, dim)`` for activations and
+``(batch, time)`` for token ids.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from repro.nn.functional import gelu, gelu_grad, softmax
+
+
+class Parameter:
+    """A trainable tensor with an accumulated gradient."""
+
+    def __init__(self, data: np.ndarray, name: str = "", lr_scale: float = 1.0) -> None:
+        self.data = data.astype(np.float32)
+        self.grad = np.zeros_like(self.data)
+        self.name = name
+        #: Per-parameter learning-rate multiplier; the paper trains the Medusa
+        #: heads at 4x the base model's learning rate.
+        self.lr_scale = lr_scale
+
+    def zero_grad(self) -> None:
+        self.grad.fill(0.0)
+
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return self.data.shape
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Parameter({self.name}, shape={self.data.shape})"
+
+
+class Module:
+    """Base class providing parameter discovery and training-mode flags."""
+
+    def parameters(self) -> Iterator[Parameter]:
+        """Yield every trainable parameter reachable from this module."""
+        seen = set()
+        for value in self.__dict__.values():
+            if isinstance(value, Parameter) and id(value) not in seen:
+                seen.add(id(value))
+                yield value
+            elif isinstance(value, Module):
+                for param in value.parameters():
+                    if id(param) not in seen:
+                        seen.add(id(param))
+                        yield param
+            elif isinstance(value, (list, tuple)):
+                for item in value:
+                    if isinstance(item, Module):
+                        for param in item.parameters():
+                            if id(param) not in seen:
+                                seen.add(id(param))
+                                yield param
+                    elif isinstance(item, Parameter) and id(item) not in seen:
+                        seen.add(id(item))
+                        yield item
+
+    def zero_grad(self) -> None:
+        """Clear gradients on every parameter."""
+        for param in self.parameters():
+            param.zero_grad()
+
+    def num_parameters(self) -> int:
+        """Total number of scalar weights."""
+        return sum(int(np.prod(p.shape)) for p in self.parameters())
+
+    def set_lr_scale(self, scale: float) -> None:
+        """Set the per-parameter learning-rate multiplier on every parameter."""
+        for param in self.parameters():
+            param.lr_scale = scale
+
+
+def _init_weight(rng: np.random.Generator, fan_in: int, fan_out: int) -> np.ndarray:
+    scale = np.sqrt(2.0 / (fan_in + fan_out))
+    return rng.normal(0.0, scale, size=(fan_in, fan_out)).astype(np.float32)
+
+
+class Linear(Module):
+    """Affine transformation ``y = x W + b``."""
+
+    def __init__(self, in_features: int, out_features: int, rng: np.random.Generator, bias: bool = True, name: str = "linear") -> None:
+        self.weight = Parameter(_init_weight(rng, in_features, out_features), name=f"{name}.weight")
+        self.bias = Parameter(np.zeros(out_features, dtype=np.float32), name=f"{name}.bias") if bias else None
+        self._input: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._input = x
+        out = x @ self.weight.data
+        if self.bias is not None:
+            out = out + self.bias.data
+        return out
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        x = self._input
+        flat_x = x.reshape(-1, x.shape[-1])
+        flat_grad = grad_output.reshape(-1, grad_output.shape[-1])
+        self.weight.grad += flat_x.T @ flat_grad
+        if self.bias is not None:
+            self.bias.grad += flat_grad.sum(axis=0)
+        return grad_output @ self.weight.data.T
+
+
+class Embedding(Module):
+    """Token-id to vector lookup table."""
+
+    def __init__(self, num_embeddings: int, dim: int, rng: np.random.Generator, name: str = "embedding") -> None:
+        self.weight = Parameter(rng.normal(0.0, 0.02, size=(num_embeddings, dim)).astype(np.float32), name=f"{name}.weight")
+        self._ids: Optional[np.ndarray] = None
+
+    def forward(self, ids: np.ndarray) -> np.ndarray:
+        self._ids = ids
+        return self.weight.data[ids]
+
+    def backward(self, grad_output: np.ndarray) -> None:
+        flat_ids = self._ids.reshape(-1)
+        flat_grad = grad_output.reshape(-1, grad_output.shape[-1])
+        np.add.at(self.weight.grad, flat_ids, flat_grad)
+
+
+class LayerNorm(Module):
+    """Layer normalisation over the last dimension."""
+
+    def __init__(self, dim: int, name: str = "ln", eps: float = 1e-5) -> None:
+        self.gamma = Parameter(np.ones(dim, dtype=np.float32), name=f"{name}.gamma")
+        self.beta = Parameter(np.zeros(dim, dtype=np.float32), name=f"{name}.beta")
+        self.eps = eps
+        self._cache: Optional[Tuple[np.ndarray, np.ndarray, np.ndarray]] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        mean = x.mean(axis=-1, keepdims=True)
+        var = x.var(axis=-1, keepdims=True)
+        inv_std = 1.0 / np.sqrt(var + self.eps)
+        normalized = (x - mean) * inv_std
+        self._cache = (normalized, inv_std, x)
+        return normalized * self.gamma.data + self.beta.data
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        normalized, inv_std, _x = self._cache
+        dim = grad_output.shape[-1]
+        flat_norm = normalized.reshape(-1, dim)
+        flat_grad = grad_output.reshape(-1, dim)
+        self.gamma.grad += np.sum(flat_grad * flat_norm, axis=0)
+        self.beta.grad += np.sum(flat_grad, axis=0)
+        dnorm = grad_output * self.gamma.data
+        mean_dnorm = dnorm.mean(axis=-1, keepdims=True)
+        mean_dnorm_norm = (dnorm * normalized).mean(axis=-1, keepdims=True)
+        return (dnorm - mean_dnorm - normalized * mean_dnorm_norm) * inv_std
+
+
+class CausalSelfAttention(Module):
+    """Multi-head scaled dot-product attention with an optional causal mask."""
+
+    def __init__(self, dim: int, num_heads: int, rng: np.random.Generator, causal: bool = True, name: str = "attn") -> None:
+        if dim % num_heads != 0:
+            raise ValueError("dim must be divisible by num_heads")
+        self.dim = dim
+        self.num_heads = num_heads
+        self.head_dim = dim // num_heads
+        self.causal = causal
+        self.qkv = Linear(dim, 3 * dim, rng, name=f"{name}.qkv")
+        self.proj = Linear(dim, dim, rng, name=f"{name}.proj")
+        self._cache = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        batch, time, dim = x.shape
+        qkv = self.qkv.forward(x)
+        q, k, v = np.split(qkv, 3, axis=-1)
+
+        def split_heads(tensor: np.ndarray) -> np.ndarray:
+            return tensor.reshape(batch, time, self.num_heads, self.head_dim).transpose(0, 2, 1, 3)
+
+        qh, kh, vh = split_heads(q), split_heads(k), split_heads(v)
+        scores = qh @ kh.transpose(0, 1, 3, 2) / np.sqrt(self.head_dim)
+        if self.causal:
+            mask = np.triu(np.ones((time, time), dtype=bool), k=1)
+            scores = np.where(mask, -1e9, scores)
+        weights = softmax(scores, axis=-1)
+        context = weights @ vh
+        merged = context.transpose(0, 2, 1, 3).reshape(batch, time, dim)
+        out = self.proj.forward(merged)
+        self._cache = (qh, kh, vh, weights, batch, time)
+        return out
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        qh, kh, vh, weights, batch, time = self._cache
+        grad_merged = self.proj.backward(grad_output)
+        grad_context = grad_merged.reshape(batch, time, self.num_heads, self.head_dim).transpose(0, 2, 1, 3)
+
+        grad_weights = grad_context @ vh.transpose(0, 1, 3, 2)
+        grad_vh = weights.transpose(0, 1, 3, 2) @ grad_context
+
+        # Softmax backward.
+        dot = np.sum(grad_weights * weights, axis=-1, keepdims=True)
+        grad_scores = weights * (grad_weights - dot)
+        grad_scores /= np.sqrt(self.head_dim)
+
+        grad_qh = grad_scores @ kh
+        grad_kh = grad_scores.transpose(0, 1, 3, 2) @ qh
+
+        def merge_heads(tensor: np.ndarray) -> np.ndarray:
+            return tensor.transpose(0, 2, 1, 3).reshape(batch, time, self.dim)
+
+        grad_qkv = np.concatenate([merge_heads(grad_qh), merge_heads(grad_kh), merge_heads(grad_vh)], axis=-1)
+        return self.qkv.backward(grad_qkv)
+
+
+class CrossAttention(Module):
+    """Encoder-decoder attention: queries from the decoder, keys/values from the encoder."""
+
+    def __init__(self, dim: int, num_heads: int, rng: np.random.Generator, name: str = "xattn") -> None:
+        if dim % num_heads != 0:
+            raise ValueError("dim must be divisible by num_heads")
+        self.dim = dim
+        self.num_heads = num_heads
+        self.head_dim = dim // num_heads
+        self.q_proj = Linear(dim, dim, rng, name=f"{name}.q")
+        self.kv_proj = Linear(dim, 2 * dim, rng, name=f"{name}.kv")
+        self.out_proj = Linear(dim, dim, rng, name=f"{name}.out")
+        self._cache = None
+
+    def forward(self, x: np.ndarray, memory: np.ndarray) -> np.ndarray:
+        batch, time, dim = x.shape
+        mem_time = memory.shape[1]
+        q = self.q_proj.forward(x)
+        kv = self.kv_proj.forward(memory)
+        k, v = np.split(kv, 2, axis=-1)
+
+        def split_heads(tensor: np.ndarray, length: int) -> np.ndarray:
+            return tensor.reshape(batch, length, self.num_heads, self.head_dim).transpose(0, 2, 1, 3)
+
+        qh = split_heads(q, time)
+        kh = split_heads(k, mem_time)
+        vh = split_heads(v, mem_time)
+        scores = qh @ kh.transpose(0, 1, 3, 2) / np.sqrt(self.head_dim)
+        weights = softmax(scores, axis=-1)
+        context = weights @ vh
+        merged = context.transpose(0, 2, 1, 3).reshape(batch, time, dim)
+        out = self.out_proj.forward(merged)
+        self._cache = (qh, kh, vh, weights, batch, time, mem_time)
+        return out
+
+    def backward(self, grad_output: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        qh, kh, vh, weights, batch, time, mem_time = self._cache
+        grad_merged = self.out_proj.backward(grad_output)
+        grad_context = grad_merged.reshape(batch, time, self.num_heads, self.head_dim).transpose(0, 2, 1, 3)
+        grad_weights = grad_context @ vh.transpose(0, 1, 3, 2)
+        grad_vh = weights.transpose(0, 1, 3, 2) @ grad_context
+        dot = np.sum(grad_weights * weights, axis=-1, keepdims=True)
+        grad_scores = weights * (grad_weights - dot) / np.sqrt(self.head_dim)
+        grad_qh = grad_scores @ kh
+        grad_kh = grad_scores.transpose(0, 1, 3, 2) @ qh
+
+        def merge(tensor: np.ndarray, length: int) -> np.ndarray:
+            return tensor.transpose(0, 2, 1, 3).reshape(batch, length, self.dim)
+
+        grad_x = self.q_proj.backward(merge(grad_qh, time))
+        grad_kv = np.concatenate([merge(grad_kh, mem_time), merge(grad_vh, mem_time)], axis=-1)
+        grad_memory = self.kv_proj.backward(grad_kv)
+        return grad_x, grad_memory
+
+
+class FeedForward(Module):
+    """Position-wise MLP with GELU activation."""
+
+    def __init__(self, dim: int, hidden_dim: int, rng: np.random.Generator, name: str = "mlp") -> None:
+        self.fc1 = Linear(dim, hidden_dim, rng, name=f"{name}.fc1")
+        self.fc2 = Linear(hidden_dim, dim, rng, name=f"{name}.fc2")
+        self._pre_activation: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        hidden = self.fc1.forward(x)
+        self._pre_activation = hidden
+        return self.fc2.forward(gelu(hidden))
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        grad_hidden = self.fc2.backward(grad_output)
+        grad_pre = grad_hidden * gelu_grad(self._pre_activation)
+        return self.fc1.backward(grad_pre)

@@ -1,0 +1,95 @@
+"""Optimizers and learning-rate schedules.
+
+The paper fine-tunes with an 8-bit AdamW optimizer, a cosine learning-rate
+schedule, a warmup period and a 4x learning-rate multiplier for the decoding
+heads.  This module provides full-precision AdamW plus the warmup+cosine
+schedule; the head multiplier is realised through ``Parameter.lr_scale``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List
+
+import numpy as np
+
+from repro.nn.layers import Parameter
+
+
+class WarmupCosineSchedule:
+    """Linear warmup followed by cosine decay to ``min_ratio`` of the peak LR."""
+
+    def __init__(self, base_lr: float, warmup_steps: int, total_steps: int, min_ratio: float = 0.1) -> None:
+        if total_steps <= 0:
+            raise ValueError("total_steps must be positive")
+        self.base_lr = base_lr
+        self.warmup_steps = max(warmup_steps, 0)
+        self.total_steps = total_steps
+        self.min_ratio = min_ratio
+
+    def lr_at(self, step: int) -> float:
+        """Learning rate for optimisation step ``step`` (0-based)."""
+        if self.warmup_steps > 0 and step < self.warmup_steps:
+            return self.base_lr * (step + 1) / self.warmup_steps
+        progress = (step - self.warmup_steps) / max(1, self.total_steps - self.warmup_steps)
+        progress = min(max(progress, 0.0), 1.0)
+        cosine = 0.5 * (1.0 + math.cos(math.pi * progress))
+        return self.base_lr * (self.min_ratio + (1.0 - self.min_ratio) * cosine)
+
+
+class AdamW:
+    """AdamW with decoupled weight decay, gradient clipping and LR scaling."""
+
+    def __init__(
+        self,
+        parameters: Iterable[Parameter],
+        lr: float = 5e-4,
+        betas: tuple = (0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.01,
+        max_grad_norm: float = 1.0,
+    ) -> None:
+        self.parameters: List[Parameter] = list(parameters)
+        self.lr = lr
+        self.beta1, self.beta2 = betas
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self.max_grad_norm = max_grad_norm
+        self.step_count = 0
+        self._m = [np.zeros_like(p.data) for p in self.parameters]
+        self._v = [np.zeros_like(p.data) for p in self.parameters]
+
+    def clip_gradients(self) -> float:
+        """Clip the global gradient norm to ``max_grad_norm``; returns the norm."""
+        total = 0.0
+        for param in self.parameters:
+            total += float(np.sum(param.grad.astype(np.float64) ** 2))
+        norm = math.sqrt(total)
+        if self.max_grad_norm > 0 and norm > self.max_grad_norm:
+            scale = self.max_grad_norm / (norm + 1e-12)
+            for param in self.parameters:
+                param.grad *= scale
+        return norm
+
+    def step(self, lr: float = None) -> None:
+        """Apply one optimisation step using ``lr`` (or the configured LR)."""
+        effective_lr = self.lr if lr is None else lr
+        self.clip_gradients()
+        self.step_count += 1
+        bias1 = 1.0 - self.beta1**self.step_count
+        bias2 = 1.0 - self.beta2**self.step_count
+        for i, param in enumerate(self.parameters):
+            grad = param.grad
+            self._m[i] = self.beta1 * self._m[i] + (1.0 - self.beta1) * grad
+            self._v[i] = self.beta2 * self._v[i] + (1.0 - self.beta2) * grad * grad
+            m_hat = self._m[i] / bias1
+            v_hat = self._v[i] / bias2
+            param_lr = effective_lr * param.lr_scale
+            if self.weight_decay > 0:
+                param.data -= param_lr * self.weight_decay * param.data
+            param.data -= param_lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+    def zero_grad(self) -> None:
+        """Clear gradients on all optimised parameters."""
+        for param in self.parameters:
+            param.zero_grad()

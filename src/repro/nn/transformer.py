@@ -1,0 +1,221 @@
+"""Transformer backbones: decoder-only and encoder-decoder.
+
+These are the scale-reduced substitutes for CodeLlama (decoder-only) and
+CodeT5p (encoder-decoder).  Both expose the same interface the Medusa wrapper
+and the speculative decoder need:
+
+* ``forward(...)`` returns the final hidden states ``(batch, time, dim)``;
+* ``backward(grad_hidden)`` backpropagates a gradient arriving at those hidden
+  states through the whole backbone.
+
+The language-model head(s) live outside the backbone (see
+:mod:`repro.models.decoder_lm` and :mod:`repro.models.medusa`) so that the
+Medusa construction — extra heads attached to the *last hidden states* — is the
+same for both architectures, exactly as in the paper's Fig. 2.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.nn.layers import (
+    CausalSelfAttention,
+    CrossAttention,
+    Embedding,
+    FeedForward,
+    LayerNorm,
+    Linear,
+    Module,
+    Parameter,
+)
+
+
+class TransformerBlock(Module):
+    """Pre-norm transformer block (self-attention + MLP with residuals)."""
+
+    def __init__(self, dim: int, num_heads: int, rng: np.random.Generator, causal: bool = True, name: str = "block") -> None:
+        self.ln1 = LayerNorm(dim, name=f"{name}.ln1")
+        self.attn = CausalSelfAttention(dim, num_heads, rng, causal=causal, name=f"{name}.attn")
+        self.ln2 = LayerNorm(dim, name=f"{name}.ln2")
+        self.mlp = FeedForward(dim, 4 * dim, rng, name=f"{name}.mlp")
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = x + self.attn.forward(self.ln1.forward(x))
+        x = x + self.mlp.forward(self.ln2.forward(x))
+        return x
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        grad_mlp = self.ln2.backward(self.mlp.backward(grad_output))
+        grad_after_attn = grad_output + grad_mlp
+        grad_attn = self.ln1.backward(self.attn.backward(grad_after_attn))
+        return grad_after_attn + grad_attn
+
+
+class CrossTransformerBlock(Module):
+    """Decoder block with self-attention, cross-attention and MLP."""
+
+    def __init__(self, dim: int, num_heads: int, rng: np.random.Generator, name: str = "xblock") -> None:
+        self.ln1 = LayerNorm(dim, name=f"{name}.ln1")
+        self.self_attn = CausalSelfAttention(dim, num_heads, rng, causal=True, name=f"{name}.self")
+        self.ln2 = LayerNorm(dim, name=f"{name}.ln2")
+        self.cross_attn = CrossAttention(dim, num_heads, rng, name=f"{name}.cross")
+        self.ln3 = LayerNorm(dim, name=f"{name}.ln3")
+        self.mlp = FeedForward(dim, 4 * dim, rng, name=f"{name}.mlp")
+        self._memory_grad: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray, memory: np.ndarray) -> np.ndarray:
+        x = x + self.self_attn.forward(self.ln1.forward(x))
+        x = x + self.cross_attn.forward(self.ln2.forward(x), memory)
+        x = x + self.mlp.forward(self.ln3.forward(x))
+        return x
+
+    def backward(self, grad_output: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        grad_mlp = self.ln3.backward(self.mlp.backward(grad_output))
+        grad_after_cross = grad_output + grad_mlp
+        grad_cross_x, grad_memory = self.cross_attn.backward(grad_after_cross)
+        grad_cross = self.ln2.backward(grad_cross_x)
+        grad_after_self = grad_after_cross + grad_cross
+        grad_self = self.ln1.backward(self.self_attn.backward(grad_after_self))
+        return grad_after_self + grad_self, grad_memory
+
+
+class DecoderOnlyTransformer(Module):
+    """A GPT-style causal transformer producing last hidden states."""
+
+    def __init__(
+        self,
+        vocab_size: int,
+        dim: int = 64,
+        num_layers: int = 2,
+        num_heads: int = 4,
+        max_seq_len: int = 512,
+        seed: int = 0,
+    ) -> None:
+        rng = np.random.default_rng(seed)
+        self.vocab_size = vocab_size
+        self.dim = dim
+        self.max_seq_len = max_seq_len
+        self.token_embedding = Embedding(vocab_size, dim, rng, name="tok_emb")
+        self.position_embedding = Embedding(max_seq_len, dim, rng, name="pos_emb")
+        self.blocks: List[TransformerBlock] = [
+            TransformerBlock(dim, num_heads, rng, causal=True, name=f"block{i}") for i in range(num_layers)
+        ]
+        self.final_norm = LayerNorm(dim, name="final_ln")
+
+    def forward(self, token_ids: np.ndarray) -> np.ndarray:
+        """Return hidden states of shape ``(batch, time, dim)``."""
+        if token_ids.ndim == 1:
+            token_ids = token_ids[None, :]
+        batch, time = token_ids.shape
+        if time > self.max_seq_len:
+            raise ValueError(f"sequence length {time} exceeds max_seq_len {self.max_seq_len}")
+        positions = np.broadcast_to(np.arange(time), (batch, time))
+        x = self.token_embedding.forward(token_ids) + self.position_embedding.forward(positions)
+        for block in self.blocks:
+            x = block.forward(x)
+        return self.final_norm.forward(x)
+
+    def backward(self, grad_hidden: np.ndarray) -> None:
+        grad = self.final_norm.backward(grad_hidden)
+        for block in reversed(self.blocks):
+            grad = block.backward(grad)
+        self.token_embedding.backward(grad)
+        self.position_embedding.backward(grad)
+
+
+class EncoderDecoderTransformer(Module):
+    """A T5-style encoder-decoder transformer producing decoder hidden states."""
+
+    def __init__(
+        self,
+        vocab_size: int,
+        dim: int = 64,
+        num_encoder_layers: int = 2,
+        num_decoder_layers: int = 2,
+        num_heads: int = 4,
+        max_seq_len: int = 512,
+        seed: int = 0,
+    ) -> None:
+        rng = np.random.default_rng(seed)
+        self.vocab_size = vocab_size
+        self.dim = dim
+        self.max_seq_len = max_seq_len
+        self.token_embedding = Embedding(vocab_size, dim, rng, name="tok_emb")
+        self.position_embedding = Embedding(max_seq_len, dim, rng, name="pos_emb")
+        self.encoder_blocks: List[TransformerBlock] = [
+            TransformerBlock(dim, num_heads, rng, causal=False, name=f"enc{i}") for i in range(num_encoder_layers)
+        ]
+        self.encoder_norm = LayerNorm(dim, name="enc_ln")
+        self.decoder_blocks: List[CrossTransformerBlock] = [
+            CrossTransformerBlock(dim, num_heads, rng, name=f"dec{i}") for i in range(num_decoder_layers)
+        ]
+        self.final_norm = LayerNorm(dim, name="dec_ln")
+        self._cached_memory: Optional[np.ndarray] = None
+        self._encoder_ids: Optional[np.ndarray] = None
+
+    # -- encoder -------------------------------------------------------------
+
+    def encode(self, encoder_ids: np.ndarray) -> np.ndarray:
+        """Run the encoder and cache its output for subsequent decode calls."""
+        if encoder_ids.ndim == 1:
+            encoder_ids = encoder_ids[None, :]
+        batch, time = encoder_ids.shape
+        positions = np.broadcast_to(np.arange(time), (batch, time))
+        x = self.token_embedding.forward(encoder_ids) + self.position_embedding.forward(positions)
+        for block in self.encoder_blocks:
+            x = block.forward(x)
+        memory = self.encoder_norm.forward(x)
+        self._cached_memory = memory
+        self._encoder_ids = encoder_ids
+        return memory
+
+    # -- decoder -------------------------------------------------------------
+
+    def forward(self, decoder_ids: np.ndarray, encoder_ids: Optional[np.ndarray] = None) -> np.ndarray:
+        """Return decoder hidden states ``(batch, time, dim)``.
+
+        When ``encoder_ids`` is provided the encoder runs first; otherwise the
+        memory cached by the most recent :meth:`encode` call is reused (as the
+        generation loop does: encode once, decode incrementally).
+        """
+        if encoder_ids is not None:
+            self.encode(encoder_ids)
+        if self._cached_memory is None:
+            raise RuntimeError("encode() must be called before forward() without encoder_ids")
+        if decoder_ids.ndim == 1:
+            decoder_ids = decoder_ids[None, :]
+        batch, time = decoder_ids.shape
+        positions = np.broadcast_to(np.arange(time), (batch, time))
+        x = self.token_embedding.forward(decoder_ids) + self.position_embedding.forward(positions)
+        # The decoder embeddings overwrite the encoder's cached activations in
+        # the shared embedding layers, so the backward pass re-encodes; we keep
+        # the decoder cache here for the standard joint backward.
+        self._decoder_ids = decoder_ids
+        memory = self._cached_memory
+        for block in self.decoder_blocks:
+            x = block.forward(x, memory)
+        return self.final_norm.forward(x)
+
+    def backward(self, grad_hidden: np.ndarray) -> None:
+        grad = self.final_norm.backward(grad_hidden)
+        grad_memory_total = np.zeros_like(self._cached_memory)
+        for block in reversed(self.decoder_blocks):
+            grad, grad_memory = block.backward(grad)
+            grad_memory_total += grad_memory
+        # Decoder-side embeddings.
+        self.token_embedding._ids = self._decoder_ids
+        self.token_embedding.backward(grad)
+        batch, time = self._decoder_ids.shape
+        self.position_embedding._ids = np.broadcast_to(np.arange(time), (batch, time))
+        self.position_embedding.backward(grad)
+        # Encoder-side gradient path.
+        grad_enc = self.encoder_norm.backward(grad_memory_total)
+        for block in reversed(self.encoder_blocks):
+            grad_enc = block.backward(grad_enc)
+        self.token_embedding._ids = self._encoder_ids
+        self.token_embedding.backward(grad_enc)
+        enc_batch, enc_time = self._encoder_ids.shape
+        self.position_embedding._ids = np.broadcast_to(np.arange(enc_time), (enc_batch, enc_time))
+        self.position_embedding.backward(grad_enc)

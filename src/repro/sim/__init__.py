@@ -1,0 +1,29 @@
+"""Event-driven Verilog simulator substrate.
+
+This subpackage is the reproduction's substitute for Icarus Verilog (iverilog),
+which the paper uses to compile and simulate generated designs against their
+benchmark testbenches.  It provides:
+
+* :mod:`repro.sim.values` — 4-state (0/1/X/Z) vector values,
+* :mod:`repro.sim.expr` — expression evaluation over those values,
+* :mod:`repro.sim.simulator` — elaboration plus an event-driven kernel that
+  executes ``initial``/``always`` processes, continuous assignments, delays and
+  edge-sensitive waits, and
+* :mod:`repro.sim.testbench` — a convenience runner that simulates a design
+  together with a testbench and captures ``$display`` output.
+"""
+
+from repro.sim.values import FourState, X_CHAR, Z_CHAR
+from repro.sim.simulator import Simulator, SimulationError, SimulationResult
+from repro.sim.testbench import TestbenchResult, run_testbench
+
+__all__ = [
+    "FourState",
+    "X_CHAR",
+    "Z_CHAR",
+    "Simulator",
+    "SimulationError",
+    "SimulationResult",
+    "TestbenchResult",
+    "run_testbench",
+]

@@ -1,0 +1,289 @@
+"""Expression evaluation over four-state values.
+
+The evaluator maps the parser's expression AST onto :class:`FourState`
+operations.  It is used by the simulator for every right-hand side, condition,
+delay and index expression, and also at elaboration time for parameter and
+range expressions (where everything must be fully known).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Protocol
+
+from repro.verilog import ast_nodes as ast
+from repro.sim.values import FourState
+
+
+class EvaluationError(ValueError):
+    """Raised when an expression cannot be evaluated."""
+
+
+class Scope(Protocol):
+    """The minimal interface the evaluator needs to resolve names."""
+
+    def read_signal(self, name: str) -> FourState:
+        """Return the current value of ``name``."""
+        ...
+
+    def signal_width(self, name: str) -> int:
+        """Return the declared width of ``name``."""
+        ...
+
+    def call_function(self, name: str, args: List[FourState]) -> FourState:
+        """Evaluate a user-defined or system function call."""
+        ...
+
+
+def _binary_arith(op: str, a: int, b: int) -> int:
+    if op == "+":
+        return a + b
+    if op == "-":
+        return a - b
+    if op == "*":
+        return a * b
+    if op == "/":
+        return 0 if b == 0 else int(a / b) if (a < 0) != (b < 0) and a % b != 0 else a // b
+    if op == "%":
+        return 0 if b == 0 else a - b * int(a / b)
+    if op == "**":
+        return int(a**b) if b >= 0 else 0
+    raise EvaluationError(f"unsupported arithmetic operator {op!r}")
+
+
+def _reduce(op: str, value: FourState) -> FourState:
+    if not value.is_fully_known:
+        return FourState.unknown_value(1)
+    bits = [(value.value >> i) & 1 for i in range(value.width)]
+    if op == "&":
+        result = int(all(bits))
+    elif op == "|":
+        result = int(any(bits))
+    elif op == "^":
+        result = sum(bits) & 1
+    elif op == "~&":
+        result = int(not all(bits))
+    elif op == "~|":
+        result = int(not any(bits))
+    elif op in ("~^", "^~"):
+        result = (sum(bits) & 1) ^ 1
+    else:
+        raise EvaluationError(f"unsupported reduction operator {op!r}")
+    return FourState.from_int(result, width=1)
+
+
+class ExpressionEvaluator:
+    """Evaluates parser expressions against a :class:`Scope`."""
+
+    def __init__(self, scope: Scope) -> None:
+        self.scope = scope
+
+    # -- public API ---------------------------------------------------------
+
+    def evaluate(self, expr: ast.Expression, context_width: Optional[int] = None) -> FourState:
+        """Evaluate ``expr`` and return its four-state value."""
+        method: Callable[[ast.Expression, Optional[int]], FourState]
+        handlers: Dict[type, Callable] = {
+            ast.Number: self._eval_number,
+            ast.Identifier: self._eval_identifier,
+            ast.StringLiteral: self._eval_string,
+            ast.UnaryOp: self._eval_unary,
+            ast.BinaryOp: self._eval_binary,
+            ast.Conditional: self._eval_conditional,
+            ast.Concatenation: self._eval_concatenation,
+            ast.Replication: self._eval_replication,
+            ast.BitSelect: self._eval_bit_select,
+            ast.PartSelect: self._eval_part_select,
+            ast.FunctionCall: self._eval_function_call,
+        }
+        method = handlers.get(type(expr))
+        if method is None:
+            raise EvaluationError(f"cannot evaluate {type(expr).__name__}")
+        return method(expr, context_width)
+
+    def evaluate_int(self, expr: ast.Expression) -> int:
+        """Evaluate ``expr`` expecting a fully-known integer result."""
+        value = self.evaluate(expr)
+        if not value.is_fully_known:
+            raise EvaluationError("expression has unknown bits where a constant is required")
+        return value.to_int()
+
+    # -- handlers ------------------------------------------------------------
+
+    def _eval_number(self, expr: ast.Number, _ctx: Optional[int]) -> FourState:
+        return FourState.from_literal(expr.width, expr.base, expr.value_text or expr.text, signed=expr.signed)
+
+    def _eval_identifier(self, expr: ast.Identifier, _ctx: Optional[int]) -> FourState:
+        return self.scope.read_signal(expr.name)
+
+    def _eval_string(self, expr: ast.StringLiteral, _ctx: Optional[int]) -> FourState:
+        data = expr.text.encode("ascii", errors="replace")
+        value = int.from_bytes(data, "big") if data else 0
+        width = max(8 * len(data), 8)
+        return FourState.from_int(value, width=width)
+
+    def _eval_unary(self, expr: ast.UnaryOp, ctx: Optional[int]) -> FourState:
+        operand = self.evaluate(expr.operand, ctx)
+        op = expr.op
+        if op == "+":
+            return operand
+        if op == "-":
+            if not operand.is_fully_known:
+                return FourState.unknown_value(operand.width)
+            return FourState.from_int(-operand.to_int(), width=max(operand.width, 32), signed=True)
+        if op == "!":
+            truth = operand.is_true()
+            if truth is None:
+                return FourState.unknown_value(1)
+            return FourState.from_int(int(not truth), width=1)
+        if op == "~":
+            mask = (1 << operand.width) - 1
+            return FourState(operand.width, ~operand.value & mask, operand.unknown, operand.zmask)
+        return _reduce(op, operand)
+
+    def _eval_binary(self, expr: ast.BinaryOp, ctx: Optional[int]) -> FourState:
+        op = expr.op
+        left = self.evaluate(expr.left, ctx)
+        right = self.evaluate(expr.right, ctx)
+
+        if op in ("&&", "||"):
+            lt, rt = left.is_true(), right.is_true()
+            if op == "&&":
+                if lt is False or rt is False:
+                    return FourState.from_int(0, width=1)
+                if lt is None or rt is None:
+                    return FourState.unknown_value(1)
+                return FourState.from_int(1, width=1)
+            if lt is True or rt is True:
+                return FourState.from_int(1, width=1)
+            if lt is None or rt is None:
+                return FourState.unknown_value(1)
+            return FourState.from_int(0, width=1)
+
+        if op in ("===", "!=="):
+            equal = (
+                left.to_bit_string().rjust(max(left.width, right.width), "0")
+                == right.to_bit_string().rjust(max(left.width, right.width), "0")
+            )
+            return FourState.from_int(int(equal if op == "===" else not equal), width=1)
+
+        if op in ("==", "!=", "<", ">", "<=", ">="):
+            if not left.is_fully_known or not right.is_fully_known:
+                return FourState.unknown_value(1)
+            signed = left.signed and right.signed
+            a = left.to_signed_int() if signed else left.value
+            b = right.to_signed_int() if signed else right.value
+            result = {
+                "==": a == b,
+                "!=": a != b,
+                "<": a < b,
+                ">": a > b,
+                "<=": a <= b,
+                ">=": a >= b,
+            }[op]
+            return FourState.from_int(int(result), width=1)
+
+        if op in ("<<", ">>", "<<<", ">>>"):
+            if not right.is_fully_known:
+                return FourState.unknown_value(left.width)
+            shift = right.value
+            if op == "<<" or op == "<<<":
+                return FourState(left.width, (left.value << shift), (left.unknown << shift), (left.zmask << shift), left.signed)
+            if op == ">>>" and left.signed:
+                value = left.to_signed_int() >> shift
+                return FourState.from_int(value, width=left.width, signed=True)
+            return FourState(left.width, left.value >> shift, left.unknown >> shift, left.zmask >> shift, left.signed)
+
+        width = max(left.width, right.width)
+        if op in ("&", "|", "^", "~^", "^~"):
+            a = left.resize(width)
+            b = right.resize(width)
+            if op == "&":
+                value = a.value & b.value
+                unknown = (a.unknown | b.unknown) & ~((~a.value & ~a.unknown) | (~b.value & ~b.unknown) & ((1 << width) - 1))
+                unknown &= (1 << width) - 1
+                # A known-0 bit forces the result bit to known 0.
+                known_zero = ((~a.value & ~a.unknown) | (~b.value & ~b.unknown)) & ((1 << width) - 1)
+                unknown &= ~known_zero
+            elif op == "|":
+                value = a.value | b.value
+                known_one = (a.value & ~a.unknown) | (b.value & ~b.unknown)
+                unknown = (a.unknown | b.unknown) & ~known_one
+            else:
+                value = a.value ^ b.value
+                unknown = a.unknown | b.unknown
+                if op in ("~^", "^~"):
+                    value = ~value & ((1 << width) - 1)
+            return FourState(width, value & ~unknown, unknown)
+
+        # Arithmetic.
+        if not left.is_fully_known or not right.is_fully_known:
+            out_width = max(width, ctx or 0)
+            return FourState.unknown_value(out_width if out_width > 0 else width)
+        signed = left.signed and right.signed
+        a = left.to_signed_int() if signed else left.value
+        b = right.to_signed_int() if signed else right.value
+        raw = _binary_arith(op, a, b)
+        out_width = max(width, ctx or 0, 1)
+        return FourState.from_int(raw, width=out_width, signed=signed)
+
+    def _eval_conditional(self, expr: ast.Conditional, ctx: Optional[int]) -> FourState:
+        condition = self.evaluate(expr.condition)
+        truth = condition.is_true()
+        if truth is True:
+            return self.evaluate(expr.if_true, ctx)
+        if truth is False:
+            return self.evaluate(expr.if_false, ctx)
+        if_true = self.evaluate(expr.if_true, ctx)
+        if_false = self.evaluate(expr.if_false, ctx)
+        width = max(if_true.width, if_false.width)
+        return FourState.unknown_value(width)
+
+    def _eval_concatenation(self, expr: ast.Concatenation, _ctx: Optional[int]) -> FourState:
+        bit_string = ""
+        for part in expr.parts:
+            bit_string += self.evaluate(part).to_bit_string()
+        if not bit_string:
+            return FourState.from_int(0, width=1)
+        return FourState.from_bits(bit_string)
+
+    def _eval_replication(self, expr: ast.Replication, _ctx: Optional[int]) -> FourState:
+        count = self.evaluate_int(expr.count)
+        inner = self._eval_concatenation(expr.value, None)
+        if count <= 0:
+            raise EvaluationError("replication count must be positive")
+        return FourState.from_bits(inner.to_bit_string() * count)
+
+    def _eval_bit_select(self, expr: ast.BitSelect, _ctx: Optional[int]) -> FourState:
+        index = self.evaluate(expr.index)
+        if isinstance(expr.target, ast.Identifier) and index.is_fully_known:
+            # Memory/array element access such as ``mem[addr]``.
+            reader = getattr(self.scope, "read_indexed", None)
+            if reader is not None:
+                element = reader(expr.target.name, index.to_int())
+                if element is not None:
+                    return element
+        target = self.evaluate(expr.target)
+        if not index.is_fully_known:
+            return FourState.unknown_value(1)
+        return FourState.from_bits(target.bit(index.to_int()))
+
+    def _eval_part_select(self, expr: ast.PartSelect, _ctx: Optional[int]) -> FourState:
+        target = self.evaluate(expr.target)
+        if expr.mode == ":":
+            msb = self.evaluate_int(expr.msb)
+            lsb = self.evaluate_int(expr.lsb)
+        else:
+            base = self.evaluate_int(expr.msb)
+            width = self.evaluate_int(expr.lsb)
+            if expr.mode == "+:":
+                lsb, msb = base, base + width - 1
+            else:
+                msb, lsb = base, base - width + 1
+        if msb < lsb:
+            msb, lsb = lsb, msb
+        bits = "".join(target.bit(i) for i in range(msb, lsb - 1, -1))
+        return FourState.from_bits(bits or "x")
+
+    def _eval_function_call(self, expr: ast.FunctionCall, _ctx: Optional[int]) -> FourState:
+        args = [self.evaluate(arg) for arg in expr.args]
+        return self.scope.call_function(expr.name, args)

@@ -1,0 +1,112 @@
+"""Testbench execution helper.
+
+The paper grades generated designs by compiling them together with a
+benchmark-provided testbench under iverilog and checking the simulation
+output.  :func:`run_testbench` reproduces that flow on top of
+:class:`repro.sim.simulator.Simulator`: the design and testbench sources are
+concatenated, elaborated with the testbench as the top module, simulated, and
+the ``$display`` output is scanned for pass/fail markers and mismatch
+counters.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.verilog.syntax import check_syntax
+from repro.sim.simulator import SimulationError, Simulator
+
+#: Markers our benchmark testbenches emit.  Generated designs never emit these
+#: themselves, so their presence/absence in the captured output is a reliable
+#: pass/fail signal (the same convention RTLLM/VerilogEval testbenches use).
+PASS_PATTERNS = (re.compile(r"TEST\s+PASSED", re.IGNORECASE), re.compile(r"all\s+tests\s+passed", re.IGNORECASE))
+FAIL_PATTERNS = (
+    re.compile(r"TEST\s+FAILED", re.IGNORECASE),
+    re.compile(r"MISMATCH", re.IGNORECASE),
+    re.compile(r"\bERROR\b", re.IGNORECASE),
+)
+
+
+@dataclass
+class TestbenchResult:
+    """Outcome of running a design against a testbench."""
+
+    compiled: bool
+    simulated: bool
+    passed: bool
+    output: str = ""
+    errors: List[str] = field(default_factory=list)
+    simulation_time: int = 0
+
+    @property
+    def syntax_ok(self) -> bool:
+        """Alias used by the syntax-quality evaluation."""
+        return self.compiled
+
+
+def run_testbench(
+    design_source: str,
+    testbench_source: str,
+    top: Optional[str] = None,
+    max_time: int = 200_000,
+    max_events: int = 200_000,
+) -> TestbenchResult:
+    """Simulate ``design_source`` together with ``testbench_source``.
+
+    Args:
+        design_source: the (possibly model-generated) design under test.
+        testbench_source: the benchmark testbench that instantiates the design.
+        top: explicit top module name; inferred from the testbench when omitted.
+        max_time: simulation time limit.
+        max_events: event-count limit (guards against runaway generated code).
+
+    Returns:
+        A :class:`TestbenchResult`.  ``compiled`` mirrors iverilog's compile
+        step (both sources must parse and elaborate); ``passed`` is True only
+        if the simulation ran and the output contains a pass marker and no
+        fail marker.
+    """
+    design_check = check_syntax(design_source)
+    if not design_check.ok:
+        return TestbenchResult(compiled=False, simulated=False, passed=False, errors=design_check.errors)
+    tb_check = check_syntax(testbench_source)
+    if not tb_check.ok:
+        return TestbenchResult(compiled=False, simulated=False, passed=False, errors=tb_check.errors)
+
+    combined = design_source.rstrip() + "\n\n" + testbench_source
+    if top is None and tb_check.module_names:
+        top = tb_check.module_names[-1]
+
+    try:
+        simulator = Simulator(combined, top=top, max_time=max_time, max_events=max_events)
+    except (SimulationError, RecursionError, ValueError) as exc:
+        return TestbenchResult(compiled=False, simulated=False, passed=False, errors=[str(exc)])
+
+    result = simulator.run()
+    if result.error is not None:
+        return TestbenchResult(
+            compiled=True,
+            simulated=False,
+            passed=False,
+            output=result.output,
+            errors=[result.error],
+            simulation_time=result.time,
+        )
+
+    passed = _judge_output(result.output)
+    return TestbenchResult(
+        compiled=True,
+        simulated=True,
+        passed=passed,
+        output=result.output,
+        simulation_time=result.time,
+    )
+
+
+def _judge_output(output: str) -> bool:
+    """Decide pass/fail from the captured ``$display`` output."""
+    has_pass = any(pattern.search(output) for pattern in PASS_PATTERNS)
+    has_fail = any(pattern.search(output) for pattern in FAIL_PATTERNS)
+    return has_pass and not has_fail

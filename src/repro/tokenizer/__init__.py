@@ -1,0 +1,6 @@
+"""Tokenization substrate: trainable BPE with Verilog-aware special tokens."""
+
+from repro.tokenizer.vocab import SpecialTokens, Vocabulary
+from repro.tokenizer.bpe import BPETokenizer
+
+__all__ = ["SpecialTokens", "Vocabulary", "BPETokenizer"]

@@ -1,0 +1,464 @@
+"""AST node definitions for the Verilog parser.
+
+The node hierarchy mirrors the structure the paper relies on when extracting
+*syntactically significant tokens*: module definitions, port/net declarations,
+parameters, continuous assignments, procedural blocks, statements and
+expressions.  Every node supports :meth:`Node.children` and :meth:`Node.walk`
+so client code (significant-token extraction, the simulator elaborator) can
+traverse the tree generically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+
+@dataclass
+class Node:
+    """Base class for every AST node."""
+
+    def children(self) -> Iterator["Node"]:
+        """Yield direct child nodes."""
+        for f in fields(self):
+            value = getattr(self, f.name)
+            if isinstance(value, Node):
+                yield value
+            elif isinstance(value, (list, tuple)):
+                for item in value:
+                    if isinstance(item, Node):
+                        yield item
+
+    def walk(self) -> Iterator["Node"]:
+        """Yield this node and all descendants in pre-order."""
+        yield self
+        for child in self.children():
+            yield from child.walk()
+
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Expression(Node):
+    """Base class for expression nodes."""
+
+
+@dataclass
+class Identifier(Expression):
+    """A reference to a named net, variable, parameter or instance."""
+
+    name: str
+
+
+@dataclass
+class Number(Expression):
+    """A numeric literal, kept in source form plus a parsed interpretation."""
+
+    text: str
+    width: Optional[int] = None
+    base: str = "d"
+    value_text: str = ""
+    signed: bool = False
+
+
+@dataclass
+class StringLiteral(Expression):
+    """A string literal (used by ``$display`` and friends)."""
+
+    text: str
+
+
+@dataclass
+class UnaryOp(Expression):
+    """A unary operator applied to an operand (including reductions)."""
+
+    op: str
+    operand: Expression
+
+
+@dataclass
+class BinaryOp(Expression):
+    """A binary operator applied to two operands."""
+
+    op: str
+    left: Expression
+    right: Expression
+
+
+@dataclass
+class Conditional(Expression):
+    """The ternary ``cond ? a : b`` operator."""
+
+    condition: Expression
+    if_true: Expression
+    if_false: Expression
+
+
+@dataclass
+class Concatenation(Expression):
+    """``{a, b, c}``."""
+
+    parts: List[Expression] = field(default_factory=list)
+
+
+@dataclass
+class Replication(Expression):
+    """``{N{expr}}``."""
+
+    count: Expression
+    value: Concatenation
+
+
+@dataclass
+class BitSelect(Expression):
+    """``sig[idx]``."""
+
+    target: Expression
+    index: Expression
+
+
+@dataclass
+class PartSelect(Expression):
+    """``sig[msb:lsb]`` (or indexed part-select with ``+:``/``-:``)."""
+
+    target: Expression
+    msb: Expression
+    lsb: Expression
+    mode: str = ":"
+
+
+@dataclass
+class FunctionCall(Expression):
+    """A call of a user function or system function."""
+
+    name: str
+    args: List[Expression] = field(default_factory=list)
+
+
+# ---------------------------------------------------------------------------
+# Declarations
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Range(Node):
+    """A packed range ``[msb:lsb]``."""
+
+    msb: Expression
+    lsb: Expression
+
+
+@dataclass
+class Port(Node):
+    """A port in the module header (possibly with direction/type inline)."""
+
+    name: str
+    direction: Optional[str] = None
+    net_type: Optional[str] = None
+    range: Optional[Range] = None
+    signed: bool = False
+
+
+@dataclass
+class PortDeclaration(Node):
+    """A standalone ``input``/``output``/``inout`` declaration."""
+
+    direction: str
+    net_type: Optional[str]
+    range: Optional[Range]
+    names: List[str] = field(default_factory=list)
+    signed: bool = False
+
+
+@dataclass
+class NetDeclaration(Node):
+    """A ``wire``/``reg``/``integer`` declaration with optional initialisers."""
+
+    net_type: str
+    range: Optional[Range]
+    names: List[str] = field(default_factory=list)
+    initializers: List[Optional[Expression]] = field(default_factory=list)
+    array_ranges: List[Optional[Range]] = field(default_factory=list)
+    signed: bool = False
+
+
+@dataclass
+class ParameterDeclaration(Node):
+    """A ``parameter``/``localparam`` declaration."""
+
+    kind: str
+    names: List[str] = field(default_factory=list)
+    values: List[Expression] = field(default_factory=list)
+    range: Optional[Range] = None
+
+
+@dataclass
+class GenvarDeclaration(Node):
+    """A ``genvar`` declaration."""
+
+    names: List[str] = field(default_factory=list)
+
+
+# ---------------------------------------------------------------------------
+# Statements
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Statement(Node):
+    """Base class for procedural statements."""
+
+
+@dataclass
+class Assignment(Statement):
+    """A blocking (``=``) or non-blocking (``<=``) procedural assignment."""
+
+    target: Expression
+    value: Expression
+    blocking: bool = True
+    delay: Optional[Expression] = None
+
+
+@dataclass
+class IfStatement(Statement):
+    """``if (cond) ... else ...``."""
+
+    condition: Expression
+    then_body: Statement
+    else_body: Optional[Statement] = None
+
+
+@dataclass
+class CaseItem(Node):
+    """One arm of a case statement."""
+
+    patterns: List[Expression] = field(default_factory=list)
+    body: Optional[Statement] = None
+    is_default: bool = False
+
+
+@dataclass
+class CaseStatement(Statement):
+    """``case``/``casex``/``casez``."""
+
+    kind: str
+    subject: Expression
+    items: List[CaseItem] = field(default_factory=list)
+
+
+@dataclass
+class Block(Statement):
+    """A ``begin ... end`` block, possibly named."""
+
+    statements: List[Statement] = field(default_factory=list)
+    name: Optional[str] = None
+
+
+@dataclass
+class ForStatement(Statement):
+    """``for (init; cond; step) body``."""
+
+    init: Assignment
+    condition: Expression
+    step: Assignment
+    body: Statement
+
+
+@dataclass
+class WhileStatement(Statement):
+    """``while (cond) body``."""
+
+    condition: Expression
+    body: Statement
+
+
+@dataclass
+class RepeatStatement(Statement):
+    """``repeat (count) body``."""
+
+    count: Expression
+    body: Statement
+
+
+@dataclass
+class ForeverStatement(Statement):
+    """``forever body``."""
+
+    body: Statement
+
+
+@dataclass
+class DelayStatement(Statement):
+    """``#delay body`` or a bare ``#delay;``."""
+
+    delay: Expression
+    body: Optional[Statement] = None
+
+
+@dataclass
+class EventControl(Node):
+    """A single item of a sensitivity list."""
+
+    edge: Optional[str]
+    signal: Optional[Expression]
+
+
+@dataclass
+class EventControlStatement(Statement):
+    """``@(sensitivity) body`` or ``@*``."""
+
+    controls: List[EventControl] = field(default_factory=list)
+    body: Optional[Statement] = None
+    is_star: bool = False
+
+
+@dataclass
+class WaitStatement(Statement):
+    """``wait (expr) body``."""
+
+    condition: Expression
+    body: Optional[Statement] = None
+
+
+@dataclass
+class SystemTaskCall(Statement):
+    """A call of ``$display``, ``$finish``, ``$monitor`` and friends."""
+
+    name: str
+    args: List[Expression] = field(default_factory=list)
+
+
+@dataclass
+class TaskCallStatement(Statement):
+    """A call of a user-defined task as a statement."""
+
+    name: str
+    args: List[Expression] = field(default_factory=list)
+
+
+@dataclass
+class DisableStatement(Statement):
+    """``disable block_name;``"""
+
+    name: str
+
+
+@dataclass
+class NullStatement(Statement):
+    """A bare ``;``."""
+
+
+# ---------------------------------------------------------------------------
+# Module-level items
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ContinuousAssign(Node):
+    """``assign lhs = rhs;`` (possibly several in one statement)."""
+
+    assignments: List[Tuple[Expression, Expression]] = field(default_factory=list)
+    delay: Optional[Expression] = None
+
+    def children(self) -> Iterator[Node]:
+        for lhs, rhs in self.assignments:
+            yield lhs
+            yield rhs
+
+
+@dataclass
+class AlwaysBlock(Node):
+    """An ``always`` process."""
+
+    body: Statement
+
+
+@dataclass
+class InitialBlock(Node):
+    """An ``initial`` process."""
+
+    body: Statement
+
+
+@dataclass
+class PortConnection(Node):
+    """A named or positional port connection of a module instance."""
+
+    name: Optional[str]
+    expr: Optional[Expression]
+
+
+@dataclass
+class ModuleInstance(Node):
+    """One instance of a submodule."""
+
+    module_name: str
+    instance_name: str
+    connections: List[PortConnection] = field(default_factory=list)
+    parameter_overrides: List[PortConnection] = field(default_factory=list)
+
+
+@dataclass
+class GateInstance(Node):
+    """A primitive gate instance (and/or/not/...)."""
+
+    gate_type: str
+    instance_name: Optional[str]
+    terminals: List[Expression] = field(default_factory=list)
+
+
+@dataclass
+class FunctionDeclaration(Node):
+    """A ``function ... endfunction`` definition."""
+
+    name: str
+    range: Optional[Range]
+    items: List[Node] = field(default_factory=list)
+    body: List[Statement] = field(default_factory=list)
+
+
+@dataclass
+class TaskDeclaration(Node):
+    """A ``task ... endtask`` definition."""
+
+    name: str
+    items: List[Node] = field(default_factory=list)
+    body: List[Statement] = field(default_factory=list)
+
+
+@dataclass
+class GenerateBlock(Node):
+    """A ``generate ... endgenerate`` region (kept mostly opaque)."""
+
+    items: List[Node] = field(default_factory=list)
+
+
+@dataclass
+class ModuleDef(Node):
+    """A complete ``module ... endmodule`` definition."""
+
+    name: str
+    ports: List[Port] = field(default_factory=list)
+    items: List[Node] = field(default_factory=list)
+    parameters: List[ParameterDeclaration] = field(default_factory=list)
+
+
+@dataclass
+class SourceFile(Node):
+    """A parsed source file containing one or more modules."""
+
+    modules: List[ModuleDef] = field(default_factory=list)
+
+    def module(self, name: str) -> ModuleDef:
+        """Return the module named ``name``.
+
+        Raises:
+            KeyError: if no module with that name exists.
+        """
+        for mod in self.modules:
+            if mod.name == name:
+                return mod
+        raise KeyError(name)

@@ -1,0 +1,342 @@
+"""Lexer for a practical subset of Verilog-2001.
+
+The lexer converts Verilog source text into a stream of :class:`Token` objects.
+It covers the constructs needed by the reproduction: module definitions,
+declarations, procedural blocks, expressions, numeric literals in every base,
+strings, system tasks, compiler directives (skipped), and both comment styles.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterator, List, Optional
+
+
+class LexerError(ValueError):
+    """Raised when the source text cannot be tokenized."""
+
+    def __init__(self, message: str, line: int, column: int) -> None:
+        super().__init__(f"line {line}, col {column}: {message}")
+        self.line = line
+        self.column = column
+
+
+class TokenKind(enum.Enum):
+    """Categories of Verilog tokens."""
+
+    KEYWORD = "keyword"
+    IDENTIFIER = "identifier"
+    SYSTEM_IDENTIFIER = "system_identifier"
+    NUMBER = "number"
+    STRING = "string"
+    OPERATOR = "operator"
+    PUNCTUATION = "punctuation"
+    DIRECTIVE = "directive"
+    EOF = "eof"
+
+
+#: Reserved words recognised by the lexer.  This is the subset of Verilog-2001
+#: keywords that appear in synthesizable RTL and simple testbenches.
+KEYWORDS = frozenset(
+    {
+        "module",
+        "endmodule",
+        "input",
+        "output",
+        "inout",
+        "wire",
+        "reg",
+        "integer",
+        "real",
+        "time",
+        "parameter",
+        "localparam",
+        "assign",
+        "always",
+        "initial",
+        "begin",
+        "end",
+        "if",
+        "else",
+        "case",
+        "casex",
+        "casez",
+        "endcase",
+        "default",
+        "for",
+        "while",
+        "repeat",
+        "forever",
+        "posedge",
+        "negedge",
+        "or",
+        "and",
+        "not",
+        "nand",
+        "nor",
+        "xor",
+        "xnor",
+        "buf",
+        "function",
+        "endfunction",
+        "task",
+        "endtask",
+        "generate",
+        "endgenerate",
+        "genvar",
+        "signed",
+        "unsigned",
+        "wait",
+        "disable",
+        "fork",
+        "join",
+        "supply0",
+        "supply1",
+        "tri",
+    }
+)
+
+#: Multi-character operators, longest first so that maximal munch works.
+MULTI_CHAR_OPERATORS = [
+    "<<<",
+    ">>>",
+    "===",
+    "!==",
+    "==",
+    "!=",
+    "<=",
+    ">=",
+    "&&",
+    "||",
+    "<<",
+    ">>",
+    "**",
+    "~&",
+    "~|",
+    "~^",
+    "^~",
+    "+:",
+    "-:",
+    "->",
+]
+
+SINGLE_CHAR_OPERATORS = set("+-*/%<>!&|^~=?")
+
+PUNCTUATION = set("()[]{};:,.#@")
+
+
+@dataclass(frozen=True)
+class Token:
+    """A single lexical token.
+
+    Attributes:
+        kind: the token category.
+        text: the exact source text of the token.
+        line: 1-based line number where the token starts.
+        column: 1-based column number where the token starts.
+    """
+
+    kind: TokenKind
+    text: str
+    line: int
+    column: int
+
+    def is_keyword(self, word: Optional[str] = None) -> bool:
+        """Return True if this token is a keyword (optionally a specific one)."""
+        if self.kind is not TokenKind.KEYWORD:
+            return False
+        return word is None or self.text == word
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Token({self.kind.name}, {self.text!r}, {self.line}:{self.column})"
+
+
+class Lexer:
+    """Streaming lexer over Verilog source text."""
+
+    def __init__(self, source: str) -> None:
+        self.source = source
+        self.pos = 0
+        self.line = 1
+        self.column = 1
+
+    def _error(self, message: str) -> LexerError:
+        return LexerError(message, self.line, self.column)
+
+    def _peek(self, offset: int = 0) -> str:
+        idx = self.pos + offset
+        if idx < len(self.source):
+            return self.source[idx]
+        return ""
+
+    def _advance(self, count: int = 1) -> str:
+        text = self.source[self.pos : self.pos + count]
+        for ch in text:
+            if ch == "\n":
+                self.line += 1
+                self.column = 1
+            else:
+                self.column += 1
+        self.pos += count
+        return text
+
+    def _skip_whitespace_and_comments(self) -> None:
+        while self.pos < len(self.source):
+            ch = self._peek()
+            if ch in " \t\r\n":
+                self._advance()
+            elif ch == "/" and self._peek(1) == "/":
+                while self.pos < len(self.source) and self._peek() != "\n":
+                    self._advance()
+            elif ch == "/" and self._peek(1) == "*":
+                self._advance(2)
+                while self.pos < len(self.source):
+                    if self._peek() == "*" and self._peek(1) == "/":
+                        self._advance(2)
+                        break
+                    self._advance()
+                else:
+                    raise self._error("unterminated block comment")
+            else:
+                return
+
+    def _lex_identifier(self) -> Token:
+        line, column = self.line, self.column
+        start = self.pos
+        if self._peek() == "\\":
+            # Escaped identifier: backslash up to whitespace.
+            self._advance()
+            while self.pos < len(self.source) and self._peek() not in " \t\r\n":
+                self._advance()
+            return Token(TokenKind.IDENTIFIER, self.source[start : self.pos], line, column)
+        while self.pos < len(self.source) and (self._peek().isalnum() or self._peek() in "_$"):
+            self._advance()
+        text = self.source[start : self.pos]
+        kind = TokenKind.KEYWORD if text in KEYWORDS else TokenKind.IDENTIFIER
+        return Token(kind, text, line, column)
+
+    def _lex_system_identifier(self) -> Token:
+        line, column = self.line, self.column
+        start = self.pos
+        self._advance()  # consume '$'
+        while self.pos < len(self.source) and (self._peek().isalnum() or self._peek() == "_"):
+            self._advance()
+        return Token(TokenKind.SYSTEM_IDENTIFIER, self.source[start : self.pos], line, column)
+
+    def _lex_directive(self) -> Token:
+        line, column = self.line, self.column
+        start = self.pos
+        self._advance()  # consume '`'
+        while self.pos < len(self.source) and (self._peek().isalnum() or self._peek() == "_"):
+            self._advance()
+        return Token(TokenKind.DIRECTIVE, self.source[start : self.pos], line, column)
+
+    def _lex_number(self) -> Token:
+        line, column = self.line, self.column
+        start = self.pos
+        # Optional size prefix (decimal digits, possibly with underscores).
+        while self.pos < len(self.source) and (self._peek().isdigit() or self._peek() == "_"):
+            self._advance()
+        if self._peek() == "'":
+            self._advance()
+            if self._peek().lower() == "s":
+                self._advance()
+            base = self._peek().lower()
+            if base not in "bodh":
+                raise self._error(f"invalid number base {base!r}")
+            self._advance()
+            valid = {
+                "b": "01xzXZ_?",
+                "o": "01234567xzXZ_?",
+                "d": "0123456789_",
+                "h": "0123456789abcdefABCDEFxzXZ_?",
+            }[base]
+            if self._peek() not in valid:
+                raise self._error("number literal missing digits")
+            while self.pos < len(self.source) and self._peek() in valid:
+                self._advance()
+        else:
+            # Plain decimal / real number.
+            if self._peek() == "." and self._peek(1).isdigit():
+                self._advance()
+                while self.pos < len(self.source) and (self._peek().isdigit() or self._peek() == "_"):
+                    self._advance()
+            if self._peek() in "eE" and (self._peek(1).isdigit() or self._peek(1) in "+-"):
+                self._advance()
+                if self._peek() in "+-":
+                    self._advance()
+                while self.pos < len(self.source) and self._peek().isdigit():
+                    self._advance()
+        return Token(TokenKind.NUMBER, self.source[start : self.pos], line, column)
+
+    def _lex_string(self) -> Token:
+        line, column = self.line, self.column
+        start = self.pos
+        self._advance()  # consume opening quote
+        while self.pos < len(self.source) and self._peek() != '"':
+            if self._peek() == "\\":
+                self._advance()
+            if self._peek() == "\n":
+                raise self._error("unterminated string literal")
+            self._advance()
+        if self.pos >= len(self.source):
+            raise self._error("unterminated string literal")
+        self._advance()  # closing quote
+        return Token(TokenKind.STRING, self.source[start : self.pos], line, column)
+
+    def next_token(self) -> Token:
+        """Return the next token, or an EOF token when the input is exhausted."""
+        self._skip_whitespace_and_comments()
+        if self.pos >= len(self.source):
+            return Token(TokenKind.EOF, "", self.line, self.column)
+        ch = self._peek()
+        line, column = self.line, self.column
+
+        if ch.isalpha() or ch == "_" or ch == "\\":
+            return self._lex_identifier()
+        if ch == "$":
+            return self._lex_system_identifier()
+        if ch == "`":
+            return self._lex_directive()
+        if ch.isdigit():
+            return self._lex_number()
+        if ch == "'" and self._peek(1).lower() in "bodhs":
+            return self._lex_number()
+        if ch == '"':
+            return self._lex_string()
+
+        for op in MULTI_CHAR_OPERATORS:
+            if self.source.startswith(op, self.pos):
+                self._advance(len(op))
+                return Token(TokenKind.OPERATOR, op, line, column)
+        if ch in SINGLE_CHAR_OPERATORS:
+            self._advance()
+            return Token(TokenKind.OPERATOR, ch, line, column)
+        if ch in PUNCTUATION:
+            self._advance()
+            return Token(TokenKind.PUNCTUATION, ch, line, column)
+        raise self._error(f"unexpected character {ch!r}")
+
+    def __iter__(self) -> Iterator[Token]:
+        while True:
+            token = self.next_token()
+            yield token
+            if token.kind is TokenKind.EOF:
+                return
+
+
+def tokenize(source: str, include_eof: bool = False) -> List[Token]:
+    """Tokenize ``source`` and return the full list of tokens.
+
+    Args:
+        source: Verilog source text.
+        include_eof: whether to append the trailing EOF token.
+
+    Returns:
+        The list of tokens in source order.
+    """
+    tokens = list(Lexer(source))
+    if not include_eof and tokens and tokens[-1].kind is TokenKind.EOF:
+        tokens.pop()
+    return tokens

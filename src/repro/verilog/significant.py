@@ -1,0 +1,138 @@
+"""Identification of syntactically significant tokens (paper Fig. 3).
+
+The paper extracts significant tokens in two steps:
+
+1. parse the code into an AST and collect *AST keywords*: identifiers and
+   literal leaves that carry critical structural information (module names,
+   port/net names, numeric widths, ...);
+2. supplement them with a fixed list of *extra keywords* — commonly used
+   Verilog constructs such as ``module``, ``endmodule``, ``negedge`` — plus the
+   structural operators that delimit code fragments.
+
+Together these form the set of significant tokens around which decoding stops
+are aligned.
+"""
+
+from __future__ import annotations
+
+from typing import List, Set
+
+from repro.verilog import ast_nodes as ast
+from repro.verilog.syntax import check_syntax
+
+#: Fixed supplementary keyword set (paper: "commonly used Verilog constructs,
+#: such as negedge and endmodule").  Ordered roughly by how often they appear.
+EXTRA_KEYWORDS: tuple = (
+    "module",
+    "endmodule",
+    "input",
+    "output",
+    "inout",
+    "wire",
+    "reg",
+    "integer",
+    "parameter",
+    "localparam",
+    "assign",
+    "always",
+    "initial",
+    "begin",
+    "end",
+    "if",
+    "else",
+    "case",
+    "casex",
+    "casez",
+    "endcase",
+    "default",
+    "for",
+    "while",
+    "repeat",
+    "forever",
+    "posedge",
+    "negedge",
+    "function",
+    "endfunction",
+    "task",
+    "endtask",
+    "generate",
+    "endgenerate",
+    "genvar",
+    "signed",
+    "<=",
+    "==",
+    "!=",
+    "&&",
+    "||",
+    "(",
+    ")",
+    ";",
+)
+
+
+def extract_ast_keywords(source: str) -> List[str]:
+    """Extract AST keywords (identifier and literal leaves) from Verilog code.
+
+    Args:
+        source: Verilog source text.  It must be syntactically valid; invalid
+            code yields an empty list (matching the paper's pipeline, where
+            only cleaned code reaches this stage).
+
+    Returns:
+        A deduplicated, order-preserving list of leaf strings found in the AST:
+        module names, port names, net/register names, instance names, literal
+        values and user function names.
+    """
+    result = check_syntax(source)
+    if not result.ok or result.ast is None:
+        return []
+    seen: Set[str] = set()
+    keywords: List[str] = []
+
+    def add(word: str) -> None:
+        if word and word not in seen:
+            seen.add(word)
+            keywords.append(word)
+
+    for module in result.ast.modules:
+        add(module.name)
+        for node in module.walk():
+            if isinstance(node, ast.Identifier):
+                add(node.name)
+            elif isinstance(node, ast.Number):
+                add(node.text)
+            elif isinstance(node, ast.Port):
+                add(node.name)
+            elif isinstance(node, ast.PortDeclaration):
+                for name in node.names:
+                    add(name)
+            elif isinstance(node, ast.NetDeclaration):
+                for name in node.names:
+                    add(name)
+            elif isinstance(node, ast.ParameterDeclaration):
+                for name in node.names:
+                    add(name)
+            elif isinstance(node, ast.ModuleInstance):
+                add(node.module_name)
+                add(node.instance_name)
+            elif isinstance(node, ast.FunctionCall):
+                add(node.name)
+            elif isinstance(node, (ast.FunctionDeclaration, ast.TaskDeclaration)):
+                add(node.name)
+    return keywords
+
+
+def extract_significant_tokens(source: str) -> List[str]:
+    """Return the full set of syntactically significant tokens for ``source``.
+
+    This is the union of the AST keywords (code-specific) and the fixed
+    :data:`EXTRA_KEYWORDS` (language-level), keeping AST keywords first as in
+    the paper's Fig. 3.
+    """
+    tokens = extract_ast_keywords(source)
+    seen = set(tokens)
+    for keyword in EXTRA_KEYWORDS:
+        if keyword not in seen:
+            seen.add(keyword)
+            tokens.append(keyword)
+    return tokens

@@ -1,0 +1,68 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.pipeline import PipelineConfig, VerilogSpecPipeline
+
+
+SAMPLE_DESIGN = """module data_register (
+    input clk,
+    input [3:0] data_in,
+    output reg [3:0] data_out
+);
+    always @(posedge clk) begin
+        data_out <= data_in;
+    end
+endmodule
+"""
+
+SAMPLE_COUNTER = """module counter #(parameter WIDTH = 8) (
+    input clk,
+    input rst,
+    input en,
+    output reg [WIDTH-1:0] count
+);
+    always @(posedge clk or posedge rst) begin
+        if (rst) count <= 0;
+        else if (en) count <= count + 1'b1;
+    end
+endmodule
+"""
+
+
+@pytest.fixture(scope="session")
+def sample_design() -> str:
+    """The paper's running data_register example."""
+    return SAMPLE_DESIGN
+
+
+@pytest.fixture(scope="session")
+def sample_counter() -> str:
+    """A parameterised counter used across parser/simulator tests."""
+    return SAMPLE_COUNTER
+
+
+@pytest.fixture(scope="session")
+def tiny_pipeline() -> VerilogSpecPipeline:
+    """A very small end-to-end pipeline with all three methods trained.
+
+    Session-scoped because training, although tiny, takes a few seconds; the
+    integration tests share a single instance and must not mutate it.
+    """
+    config = PipelineConfig(
+        corpus_items=36,
+        vocab_size=400,
+        model_dim=32,
+        num_layers=1,
+        num_attention_heads=2,
+        num_medusa_heads=4,
+        max_seq_len=288,
+        epochs=1,
+        max_train_seq_len=160,
+    )
+    pipeline = VerilogSpecPipeline(config)
+    pipeline.prepare()
+    pipeline.train_all()
+    return pipeline

@@ -1,0 +1,122 @@
+"""Tests for the speculative decoding loop (integration with the tiny pipeline)."""
+
+import numpy as np
+import pytest
+
+from repro.core.decoding import DecodingStrategy, SpeculativeDecoder, StepRecord
+from repro.models.generation import GenerationConfig
+from repro.verilog.fragments import FRAG
+
+
+@pytest.fixture(scope="module")
+def decoders(tiny_pipeline):
+    return {
+        "ours": tiny_pipeline.decoder_for("ours"),
+        "medusa": tiny_pipeline.decoder_for("medusa"),
+        "ntp": tiny_pipeline.decoder_for("ntp"),
+    }
+
+
+@pytest.fixture(scope="module")
+def sample_prompt(tiny_pipeline):
+    return tiny_pipeline.examples[0].prompt_text()
+
+
+class TestNTPDecoding:
+    def test_one_token_per_step(self, decoders, sample_prompt):
+        result = decoders["ntp"].generate_from_text(sample_prompt, GenerationConfig.greedy_config(12))
+        assert result.steps == result.tokens_generated
+        assert all(r.committed == 1 for r in result.step_records)
+
+    def test_respects_max_new_tokens(self, decoders, sample_prompt):
+        result = decoders["ntp"].generate_from_text(sample_prompt, GenerationConfig.greedy_config(5))
+        assert result.tokens_generated <= 5
+
+    def test_greedy_deterministic(self, decoders, sample_prompt):
+        first = decoders["ntp"].generate_from_text(sample_prompt, GenerationConfig.greedy_config(10))
+        second = decoders["ntp"].generate_from_text(sample_prompt, GenerationConfig.greedy_config(10))
+        assert first.token_ids == second.token_ids
+
+    def test_sampling_seed_deterministic(self, decoders, sample_prompt):
+        config = GenerationConfig.sampling_config(0.8, 10, seed=11)
+        first = decoders["ntp"].generate_from_text(sample_prompt, config)
+        second = decoders["ntp"].generate_from_text(sample_prompt, config)
+        assert first.token_ids == second.token_ids
+
+
+class TestSpeculativeDecoding:
+    def test_fewer_steps_than_tokens(self, decoders, sample_prompt):
+        result = decoders["ours"].generate_from_text(sample_prompt, GenerationConfig.greedy_config(40))
+        assert result.steps <= result.tokens_generated
+        assert result.tokens_per_step >= 1.0
+
+    def test_medusa_also_speculative(self, decoders, sample_prompt):
+        result = decoders["medusa"].generate_from_text(sample_prompt, GenerationConfig.greedy_config(40))
+        assert result.steps <= result.tokens_generated
+
+    def test_ours_step_records_end_at_boundary_or_single_token(self, decoders, sample_prompt):
+        decoder = decoders["ours"]
+        result = decoder.generate_from_text(sample_prompt, GenerationConfig.greedy_config(40))
+        frag_id = decoder.frag_id
+        eos_id = decoder.eos_id
+        position = 0
+        for record in result.step_records:
+            committed = result.token_ids[position : position + record.committed]
+            position += record.committed
+            if len(committed) > 1:
+                # Multi-token commits must close a fragment (or end the sequence).
+                assert committed[-1] in (frag_id, eos_id)
+
+    def test_respects_token_budget(self, decoders, sample_prompt):
+        result = decoders["ours"].generate_from_text(sample_prompt, GenerationConfig.greedy_config(16))
+        assert result.tokens_generated <= 16 + decoders["ours"].model.num_medusa_heads
+
+    def test_code_property_strips_frag(self, decoders, sample_prompt):
+        result = decoders["ours"].generate_from_text(sample_prompt, GenerationConfig.greedy_config(30))
+        assert FRAG not in result.code
+        assert FRAG in result.text or result.text == result.code
+
+    def test_tokens_per_second_positive(self, decoders, sample_prompt):
+        result = decoders["ours"].generate_from_text(sample_prompt, GenerationConfig.greedy_config(10))
+        assert result.tokens_per_second > 0
+        assert result.wall_time_seconds > 0
+
+    def test_stops_on_eos(self, decoders, tiny_pipeline):
+        # Force EOS to be the most likely token by prompting with a complete example output.
+        decoder = decoders["ours"]
+        example = tiny_pipeline.examples[0]
+        prompt = example.prompt_text() + example.output_with_frag
+        result = decoder.generate_from_text(prompt, GenerationConfig.greedy_config(60))
+        if result.stopped_by_eos:
+            assert result.token_ids.count(decoder.eos_id) >= 1
+
+    def test_strategy_recorded(self, decoders):
+        assert decoders["ours"].strategy is DecodingStrategy.OURS
+        assert decoders["medusa"].strategy is DecodingStrategy.MEDUSA
+        assert decoders["ntp"].strategy is DecodingStrategy.NTP
+
+    def test_max_speculative_heads_clamped(self, tiny_pipeline):
+        model = tiny_pipeline.models["ours"]
+        decoder = SpeculativeDecoder(model, tiny_pipeline.tokenizer, max_speculative_heads=100)
+        assert decoder.max_speculative_heads == model.num_medusa_heads
+
+    def test_generate_accepts_raw_ids(self, decoders, tiny_pipeline, sample_prompt):
+        ids = tiny_pipeline.tokenizer.encode(sample_prompt, add_bos=True)
+        result = decoders["ours"].generate(ids, GenerationConfig.greedy_config(8))
+        assert result.tokens_generated > 0
+
+
+class TestStepAccounting:
+    def test_ours_uses_fewer_steps_than_ntp(self, decoders, sample_prompt):
+        """The core speed claim: speculative decoding commits >1 token/step on average."""
+        budget = 40
+        ours = decoders["ours"].generate_from_text(sample_prompt, GenerationConfig.greedy_config(budget))
+        ntp = decoders["ntp"].generate_from_text(sample_prompt, GenerationConfig.greedy_config(budget))
+        tokens = min(ours.tokens_generated, ntp.tokens_generated)
+        assert tokens > 0
+        # Normalise to the same number of tokens: steps per token must be lower for ours.
+        assert ours.steps / ours.tokens_generated <= ntp.steps / ntp.tokens_generated
+
+    def test_step_record_fields(self):
+        record = StepRecord(proposed=5, accepted=3, committed=2, ends_at_boundary=True)
+        assert record.proposed >= record.accepted >= record.committed - 1

@@ -1,0 +1,223 @@
+"""Tests for expression evaluation over four-state values."""
+
+import pytest
+
+from repro.sim.expr import EvaluationError, ExpressionEvaluator
+from repro.sim.values import FourState
+from repro.verilog.parser import Parser
+
+
+class _DictScope:
+    """Minimal Scope implementation backed by a dictionary."""
+
+    def __init__(self, signals=None, functions=None):
+        self.signals = signals or {}
+        self.functions = functions or {}
+
+    def read_signal(self, name):
+        if name not in self.signals:
+            raise EvaluationError(f"unknown signal {name}")
+        return self.signals[name]
+
+    def signal_width(self, name):
+        return self.signals[name].width
+
+    def call_function(self, name, args):
+        if name in self.functions:
+            return self.functions[name](args)
+        raise EvaluationError(f"unknown function {name}")
+
+
+def _evaluate(text, signals=None, ctx=None):
+    parser = Parser(f"module m; wire x; assign x = {text}; endmodule")
+    module = parser.parse_source().modules[0]
+    assign = [i for i in module.items if hasattr(i, "assignments")][0]
+    expr = assign.assignments[0][1]
+    evaluator = ExpressionEvaluator(_DictScope(signals))
+    return evaluator.evaluate(expr, ctx)
+
+
+class TestLiteralsAndIdentifiers:
+    def test_sized_literal(self):
+        assert _evaluate("8'hA5").to_int() == 0xA5
+
+    def test_decimal_literal(self):
+        assert _evaluate("42").to_int() == 42
+
+    def test_identifier_lookup(self):
+        signals = {"a": FourState.from_int(7, width=8)}
+        assert _evaluate("a", signals).to_int() == 7
+
+    def test_unknown_identifier_raises(self):
+        with pytest.raises(EvaluationError):
+            _evaluate("missing")
+
+    def test_string_literal(self):
+        value = _evaluate('"AB"')
+        assert value.to_int() == (ord("A") << 8) | ord("B")
+
+
+class TestArithmetic:
+    def test_addition(self):
+        assert _evaluate("3 + 4").to_int() == 7
+
+    def test_addition_with_context_width_keeps_carry(self):
+        signals = {"a": FourState.from_int(0xFF, width=8), "b": FourState.from_int(1, width=8)}
+        assert _evaluate("a + b", signals, ctx=9).to_int() == 0x100
+
+    def test_addition_without_context_wraps(self):
+        signals = {"a": FourState.from_int(0xFF, width=8), "b": FourState.from_int(1, width=8)}
+        assert _evaluate("a + b", signals).to_int() == 0
+
+    def test_subtraction_wraps(self):
+        signals = {"a": FourState.from_int(0, width=8), "b": FourState.from_int(1, width=8)}
+        assert _evaluate("a - b", signals).to_int() == 0xFF
+
+    def test_multiplication(self):
+        assert _evaluate("6 * 7").to_int() == 42
+
+    def test_division(self):
+        assert _evaluate("20 / 3").to_int() == 6
+
+    def test_division_by_zero_is_zero(self):
+        assert _evaluate("5 / 0").to_int() == 0
+
+    def test_modulo(self):
+        assert _evaluate("20 % 3").to_int() == 2
+
+    def test_power(self):
+        assert _evaluate("2 ** 10").to_int() == 1024
+
+    def test_unary_minus(self):
+        value = _evaluate("-1")
+        assert value.to_signed_int() == -1
+
+    def test_x_propagation_in_arithmetic(self):
+        signals = {"a": FourState.unknown_value(8), "b": FourState.from_int(1, width=8)}
+        assert not _evaluate("a + b", signals).is_fully_known
+
+
+class TestBitwiseAndLogical:
+    def test_and_or_xor(self):
+        assert _evaluate("4'b1100 & 4'b1010").to_int() == 0b1000
+        assert _evaluate("4'b1100 | 4'b1010").to_int() == 0b1110
+        assert _evaluate("4'b1100 ^ 4'b1010").to_int() == 0b0110
+
+    def test_bitwise_not(self):
+        assert _evaluate("~4'b1010").to_int() == 0b0101
+
+    def test_logical_not(self):
+        assert _evaluate("!4'b0000").to_int() == 1
+        assert _evaluate("!4'b0100").to_int() == 0
+
+    def test_logical_and_short_circuit_with_x(self):
+        signals = {"a": FourState.unknown_value(1)}
+        # 0 && x is definitively 0.
+        assert _evaluate("1'b0 && a", signals).to_int() == 0
+        # 1 && x is unknown.
+        assert not _evaluate("1'b1 && a", signals).is_fully_known
+
+    def test_logical_or_short_circuit_with_x(self):
+        signals = {"a": FourState.unknown_value(1)}
+        assert _evaluate("1'b1 || a", signals).to_int() == 1
+        assert not _evaluate("1'b0 || a", signals).is_fully_known
+
+    def test_known_zero_and_dominates_x(self):
+        signals = {"a": FourState.unknown_value(4)}
+        value = _evaluate("a & 4'b0000", signals)
+        assert value.to_int() == 0
+        assert value.is_fully_known
+
+    def test_known_one_or_dominates_x(self):
+        signals = {"a": FourState.unknown_value(4)}
+        value = _evaluate("a | 4'b1111", signals)
+        assert value.to_int() == 0b1111
+        assert value.is_fully_known
+
+    def test_reduction_operators(self):
+        assert _evaluate("&4'b1111").to_int() == 1
+        assert _evaluate("&4'b1101").to_int() == 0
+        assert _evaluate("|4'b0000").to_int() == 0
+        assert _evaluate("^4'b1011").to_int() == 1
+        assert _evaluate("~&4'b1111").to_int() == 0
+        assert _evaluate("~|4'b0000").to_int() == 1
+
+
+class TestComparisonsAndShifts:
+    def test_equality(self):
+        assert _evaluate("5 == 5").to_int() == 1
+        assert _evaluate("5 != 5").to_int() == 0
+
+    def test_relational(self):
+        assert _evaluate("3 < 5").to_int() == 1
+        assert _evaluate("5 <= 5").to_int() == 1
+        assert _evaluate("6 > 7").to_int() == 0
+        assert _evaluate("7 >= 7").to_int() == 1
+
+    def test_comparison_with_x_is_unknown(self):
+        signals = {"a": FourState.unknown_value(4)}
+        assert not _evaluate("a == 4'd2", signals).is_fully_known
+
+    def test_case_equality_with_x(self):
+        signals = {"a": FourState.unknown_value(4)}
+        assert _evaluate("a === a", signals).to_int() == 1
+
+    def test_case_inequality(self):
+        assert _evaluate("4'b1010 !== 4'b1010").to_int() == 0
+
+    def test_shifts(self):
+        assert _evaluate("4'b0001 << 2").to_int() == 4
+        assert _evaluate("4'b1000 >> 3").to_int() == 1
+
+    def test_arithmetic_shift_right_signed(self):
+        signals = {"a": FourState.from_int(0b1000, width=4, signed=True)}
+        assert _evaluate("a >>> 1", signals).to_bit_string() == "1100"
+
+
+class TestStructuredExpressions:
+    def test_ternary_true_branch(self):
+        assert _evaluate("1 ? 8'd5 : 8'd9").to_int() == 5
+
+    def test_ternary_false_branch(self):
+        assert _evaluate("0 ? 8'd5 : 8'd9").to_int() == 9
+
+    def test_ternary_unknown_condition(self):
+        signals = {"s": FourState.unknown_value(1)}
+        assert not _evaluate("s ? 8'd5 : 8'd9", signals).is_fully_known
+
+    def test_concatenation(self):
+        assert _evaluate("{2'b10, 2'b01}").to_int() == 0b1001
+
+    def test_replication(self):
+        assert _evaluate("{3{2'b10}}").to_int() == 0b101010
+
+    def test_bit_select(self):
+        signals = {"a": FourState.from_int(0b1010, width=4)}
+        assert _evaluate("a[1]", signals).to_int() == 1
+        assert _evaluate("a[0]", signals).to_int() == 0
+
+    def test_part_select(self):
+        signals = {"a": FourState.from_int(0xAB, width=8)}
+        assert _evaluate("a[7:4]", signals).to_int() == 0xA
+
+    def test_indexed_part_select(self):
+        signals = {"a": FourState.from_int(0xAB, width=8), "b": FourState.from_int(4, width=3)}
+        assert _evaluate("a[b +: 4]", signals).to_int() == 0xA
+
+    def test_bit_select_unknown_index(self):
+        signals = {"a": FourState.from_int(0b1010, width=4), "i": FourState.unknown_value(2)}
+        assert not _evaluate("a[i]", signals).is_fully_known
+
+    def test_function_call_dispatch(self):
+        scope = _DictScope(functions={"double": lambda args: FourState.from_int(args[0].to_int() * 2, width=16)})
+        parser = Parser("module m; wire x; assign x = double(21); endmodule")
+        module = parser.parse_source().modules[0]
+        expr = [i for i in module.items if hasattr(i, "assignments")][0].assignments[0][1]
+        assert ExpressionEvaluator(scope).evaluate(expr).to_int() == 42
+
+    def test_evaluate_int_requires_known(self):
+        evaluator = ExpressionEvaluator(_DictScope({"a": FourState.unknown_value(4)}))
+        parser = Parser("module m; wire x; assign x = a; endmodule")
+        expr = [i for i in parser.parse_source().modules[0].items if hasattr(i, "assignments")][0].assignments[0][1]
+        with pytest.raises(EvaluationError):
+            evaluator.evaluate_int(expr)

@@ -1,0 +1,180 @@
+"""Tests for the Verilog lexer."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.verilog.lexer import KEYWORDS, Lexer, LexerError, Token, TokenKind, tokenize
+
+
+class TestBasicTokens:
+    def test_keywords_are_classified(self):
+        tokens = tokenize("module endmodule always begin end")
+        assert [t.kind for t in tokens] == [TokenKind.KEYWORD] * 5
+
+    def test_identifiers(self):
+        tokens = tokenize("data_out my_signal_2 _private $display")
+        assert tokens[0].kind is TokenKind.IDENTIFIER
+        assert tokens[1].kind is TokenKind.IDENTIFIER
+        assert tokens[2].kind is TokenKind.IDENTIFIER
+        assert tokens[3].kind is TokenKind.SYSTEM_IDENTIFIER
+
+    def test_identifier_with_dollar_inside(self):
+        tokens = tokenize("sig$nal")
+        assert tokens[0].text == "sig$nal"
+
+    def test_escaped_identifier(self):
+        tokens = tokenize(r"\bus+index other")
+        assert tokens[0].kind is TokenKind.IDENTIFIER
+        assert tokens[0].text == r"\bus+index"
+        assert tokens[1].text == "other"
+
+    def test_sized_binary_number(self):
+        tokens = tokenize("4'b1010")
+        assert tokens[0].kind is TokenKind.NUMBER
+        assert tokens[0].text == "4'b1010"
+
+    def test_sized_hex_number(self):
+        assert tokenize("8'hFF")[0].text == "8'hFF"
+
+    def test_signed_number(self):
+        assert tokenize("8'sd5")[0].text == "8'sd5"
+
+    def test_number_with_x_and_z(self):
+        assert tokenize("4'b10xz")[0].text == "4'b10xz"
+
+    def test_plain_decimal(self):
+        assert tokenize("42")[0].kind is TokenKind.NUMBER
+
+    def test_real_number(self):
+        tokens = tokenize("3.14")
+        assert tokens[0].text == "3.14"
+
+    def test_number_with_underscores(self):
+        assert tokenize("16'hDE_AD")[0].text == "16'hDE_AD"
+
+    def test_string_literal(self):
+        tokens = tokenize('"TEST PASSED"')
+        assert tokens[0].kind is TokenKind.STRING
+
+    def test_directive(self):
+        tokens = tokenize("`timescale")
+        assert tokens[0].kind is TokenKind.DIRECTIVE
+
+    def test_empty_source(self):
+        assert tokenize("") == []
+
+    def test_eof_token_included_when_requested(self):
+        tokens = tokenize("a", include_eof=True)
+        assert tokens[-1].kind is TokenKind.EOF
+
+
+class TestOperators:
+    @pytest.mark.parametrize(
+        "operator",
+        ["<=", ">=", "==", "!=", "===", "!==", "&&", "||", "<<", ">>", "<<<", ">>>", "**", "~&", "~|", "+:", "-:"],
+    )
+    def test_multi_char_operator(self, operator):
+        tokens = tokenize(f"a {operator} b")
+        assert tokens[1].text == operator
+        assert tokens[1].kind is TokenKind.OPERATOR
+
+    def test_maximal_munch_triple_shift(self):
+        tokens = tokenize("a <<< 2")
+        assert tokens[1].text == "<<<"
+
+    def test_single_char_operators(self):
+        tokens = tokenize("a + b - c * d / e % f")
+        operators = [t.text for t in tokens if t.kind is TokenKind.OPERATOR]
+        assert operators == ["+", "-", "*", "/", "%"]
+
+    def test_punctuation(self):
+        tokens = tokenize("( ) [ ] { } ; : , . # @")
+        assert all(t.kind is TokenKind.PUNCTUATION for t in tokens)
+
+
+class TestComments:
+    def test_line_comment_skipped(self):
+        tokens = tokenize("a // this is a comment\nb")
+        assert [t.text for t in tokens] == ["a", "b"]
+
+    def test_block_comment_skipped(self):
+        tokens = tokenize("a /* multi\nline */ b")
+        assert [t.text for t in tokens] == ["a", "b"]
+
+    def test_unterminated_block_comment_raises(self):
+        with pytest.raises(LexerError):
+            tokenize("a /* never closed")
+
+    def test_unterminated_string_raises(self):
+        with pytest.raises(LexerError):
+            tokenize('"no closing quote')
+
+
+class TestPositions:
+    def test_line_and_column_tracking(self):
+        tokens = tokenize("module foo;\n  wire x;")
+        assert tokens[0].line == 1 and tokens[0].column == 1
+        wire = next(t for t in tokens if t.text == "wire")
+        assert wire.line == 2
+        assert wire.column == 3
+
+    def test_error_reports_position(self):
+        try:
+            tokenize("wire \x01")
+        except LexerError as exc:
+            assert exc.line == 1
+        else:  # pragma: no cover
+            pytest.fail("expected LexerError")
+
+
+class TestTokenHelpers:
+    def test_is_keyword(self):
+        token = Token(TokenKind.KEYWORD, "module", 1, 1)
+        assert token.is_keyword()
+        assert token.is_keyword("module")
+        assert not token.is_keyword("endmodule")
+
+    def test_is_keyword_false_for_identifier(self):
+        token = Token(TokenKind.IDENTIFIER, "module_name", 1, 1)
+        assert not token.is_keyword()
+
+    def test_all_keywords_lex_as_keywords(self):
+        for keyword in KEYWORDS:
+            assert tokenize(keyword)[0].kind is TokenKind.KEYWORD
+
+
+class TestWholeModule:
+    def test_full_module_token_count(self, sample_design):
+        tokens = tokenize(sample_design)
+        texts = [t.text for t in tokens]
+        assert texts.count("module") == 1
+        assert texts.count("endmodule") == 1
+        assert "data_register" in texts
+        assert "<=" in texts
+
+    def test_lexer_is_iterable(self):
+        lexer = Lexer("assign y = a & b;")
+        collected = list(lexer)
+        assert collected[-1].kind is TokenKind.EOF
+
+
+@given(st.text(alphabet=st.characters(whitelist_categories=("Ll", "Lu", "Nd"), whitelist_characters="_ \n\t;(),+-*&|^~!"), max_size=200))
+def test_lexer_never_crashes_on_word_like_text(text):
+    """Property: the lexer either tokenizes or raises LexerError, never anything else."""
+    try:
+        tokens = tokenize(text)
+    except LexerError:
+        return
+    for token in tokens:
+        assert token.text != "" or token.kind is TokenKind.EOF
+
+
+@given(st.integers(min_value=0, max_value=2**32), st.sampled_from(["b", "o", "d", "h"]))
+def test_number_literals_round_trip_text(value, base):
+    """Property: formatted sized literals lex as a single NUMBER token."""
+    digits = {"b": format(value, "b"), "o": format(value, "o"), "d": str(value), "h": format(value, "x")}[base]
+    literal = f"64'{base}{digits}"
+    tokens = tokenize(literal)
+    assert len(tokens) == 1
+    assert tokens[0].kind is TokenKind.NUMBER
+    assert tokens[0].text == literal

@@ -1,0 +1,170 @@
+"""Tests for the model zoo: backbones, Medusa wrapper, generation utilities."""
+
+import numpy as np
+import pytest
+
+from repro.models.decoder_lm import DecoderConfig, TinyCodeLlama
+from repro.models.encdec_lm import EncDecConfig, TinyCodeT5p
+from repro.models.generation import GenerationConfig, sample_from_logits, top_k_token_ids
+from repro.models.medusa import MedusaHead, MedusaLM
+
+
+VOCAB = 60
+
+
+@pytest.fixture(scope="module")
+def decoder_backbone():
+    return TinyCodeLlama(DecoderConfig(vocab_size=VOCAB, dim=16, num_layers=1, num_heads=2, max_seq_len=64))
+
+
+@pytest.fixture(scope="module")
+def encdec_backbone():
+    return TinyCodeT5p(
+        EncDecConfig(vocab_size=VOCAB, dim=16, num_encoder_layers=1, num_decoder_layers=1, num_heads=2, max_seq_len=64)
+    )
+
+
+class TestBackbones:
+    def test_decoder_architecture_tag(self, decoder_backbone):
+        assert decoder_backbone.architecture == "decoder-only"
+
+    def test_encdec_architecture_tag(self, encdec_backbone):
+        assert encdec_backbone.architecture == "encoder-decoder"
+
+    def test_decoder_hidden_shape(self, decoder_backbone):
+        hidden = decoder_backbone.hidden_states(np.array([[1, 2, 3]]))
+        assert hidden.shape == (1, 3, 16)
+
+    def test_encdec_hidden_shape(self, encdec_backbone):
+        hidden = encdec_backbone.hidden_states(np.array([[1, 2]]), np.array([[3, 4, 5]]))
+        assert hidden.shape == (1, 2, 16)
+
+    def test_encdec_encode_caching(self, encdec_backbone):
+        encdec_backbone.encode(np.array([[3, 4, 5]]))
+        hidden = encdec_backbone.hidden_states(np.array([[1, 2]]))
+        assert hidden.shape == (1, 2, 16)
+
+    def test_parameter_counts(self, decoder_backbone, encdec_backbone):
+        assert decoder_backbone.num_parameters() > 0
+        assert encdec_backbone.num_parameters() > decoder_backbone.num_parameters()
+
+
+class TestMedusaHead:
+    def test_head_output_shape(self):
+        rng = np.random.default_rng(0)
+        head = MedusaHead(16, VOCAB, rng, index=0)
+        hidden = rng.normal(size=(1, 5, 16)).astype(np.float32)
+        assert head.forward(hidden).shape == (1, 5, VOCAB)
+
+    def test_head_backward_shape(self):
+        rng = np.random.default_rng(1)
+        head = MedusaHead(16, VOCAB, rng, index=0)
+        hidden = rng.normal(size=(1, 5, 16)).astype(np.float32)
+        head.forward(hidden)
+        grad = head.backward(np.ones((1, 5, VOCAB), dtype=np.float32))
+        assert grad.shape == hidden.shape
+
+    def test_residual_path_present(self):
+        # With zero residual-block weights the head reduces to a plain linear
+        # projection of the hidden state (the skip connection).
+        rng = np.random.default_rng(2)
+        head = MedusaHead(8, 10, rng, index=0)
+        head.res_linear.weight.data[:] = 0.0
+        head.res_linear.bias.data[:] = 0.0
+        hidden = rng.normal(size=(1, 2, 8)).astype(np.float32)
+        expected = hidden @ head.lm_head.weight.data + head.lm_head.bias.data
+        np.testing.assert_allclose(head.forward(hidden), expected, atol=1e-5)
+
+
+class TestMedusaLM:
+    def test_forward_shapes_decoder(self, decoder_backbone):
+        model = MedusaLM(decoder_backbone, vocab_size=VOCAB, num_medusa_heads=3)
+        base, heads = model.forward(np.array([[1, 2, 3, 4]]))
+        assert base.shape == (1, 4, VOCAB)
+        assert len(heads) == 3
+        assert all(h.shape == (1, 4, VOCAB) for h in heads)
+
+    def test_forward_shapes_encdec(self, encdec_backbone):
+        model = MedusaLM(encdec_backbone, vocab_size=VOCAB, num_medusa_heads=2)
+        base, heads = model.forward(np.array([[1, 2]]), np.array([[3, 4, 5]]))
+        assert base.shape == (1, 2, VOCAB)
+        assert len(heads) == 2
+
+    def test_zero_heads_is_ntp_model(self, decoder_backbone):
+        model = MedusaLM(decoder_backbone, vocab_size=VOCAB, num_medusa_heads=0)
+        base, heads = model.forward(np.array([[1, 2]]))
+        assert heads == []
+
+    def test_head_lr_scale_set(self, decoder_backbone):
+        model = MedusaLM(decoder_backbone, vocab_size=VOCAB, num_medusa_heads=2, head_lr_scale=4.0)
+        head_params = [p for head in model.medusa_heads for p in head.parameters()]
+        assert all(p.lr_scale == 4.0 for p in head_params)
+        assert all(p.lr_scale == 1.0 for p in model.base_head.parameters())
+
+    def test_backward_reaches_backbone(self):
+        backbone = TinyCodeLlama(DecoderConfig(vocab_size=VOCAB, dim=16, num_layers=1, num_heads=2, max_seq_len=32))
+        model = MedusaLM(backbone, vocab_size=VOCAB, num_medusa_heads=2)
+        base, heads = model.forward(np.array([[1, 2, 3]]))
+        model.zero_grad()
+        model.backward(np.ones_like(base), [np.ones_like(h) for h in heads])
+        backbone_grads = sum(float(np.abs(p.grad).sum()) for p in backbone.parameters())
+        assert backbone_grads > 0
+
+    def test_last_position_logits(self, decoder_backbone):
+        model = MedusaLM(decoder_backbone, vocab_size=VOCAB, num_medusa_heads=2)
+        base, heads = model.last_position_logits(np.array([[1, 2, 3]]))
+        assert base.shape == (VOCAB,)
+        assert all(h.shape == (VOCAB,) for h in heads)
+
+    def test_parameters_include_all_heads(self, decoder_backbone):
+        model = MedusaLM(decoder_backbone, vocab_size=VOCAB, num_medusa_heads=3)
+        names = {p.name for p in model.parameters()}
+        assert any("medusa0" in n for n in names)
+        assert any("medusa2" in n for n in names)
+        assert any("base_head" in n for n in names)
+
+    def test_num_parameters_grows_with_heads(self, decoder_backbone):
+        small = MedusaLM(decoder_backbone, vocab_size=VOCAB, num_medusa_heads=1)
+        large = MedusaLM(decoder_backbone, vocab_size=VOCAB, num_medusa_heads=4)
+        assert large.num_parameters() > small.num_parameters()
+
+
+class TestGeneration:
+    def test_greedy_picks_argmax(self):
+        logits = np.array([0.1, 5.0, -2.0])
+        assert sample_from_logits(logits, GenerationConfig.greedy_config()) == 1
+
+    def test_sampling_deterministic_with_seed(self):
+        logits = np.random.default_rng(0).normal(size=20)
+        config = GenerationConfig.sampling_config(temperature=0.8, seed=7)
+        rng_a = np.random.default_rng(7)
+        rng_b = np.random.default_rng(7)
+        assert sample_from_logits(logits, config, rng_a) == sample_from_logits(logits, config, rng_b)
+
+    def test_sampling_respects_top_k(self):
+        logits = np.array([10.0, 9.0, -100.0, -100.0])
+        config = GenerationConfig(max_new_tokens=1, temperature=1.0, greedy=False, top_k=2, seed=0)
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            assert sample_from_logits(logits, config, rng) in (0, 1)
+
+    def test_low_temperature_concentrates(self):
+        logits = np.array([2.0, 1.0, 0.0])
+        config = GenerationConfig(max_new_tokens=1, temperature=0.05, greedy=False, seed=0)
+        rng = np.random.default_rng(0)
+        samples = [sample_from_logits(logits, config, rng) for _ in range(25)]
+        assert samples.count(0) >= 24
+
+    def test_top_k_token_ids_sorted(self):
+        logits = np.array([0.5, 3.0, 2.0, -1.0])
+        np.testing.assert_array_equal(top_k_token_ids(logits, 3), [1, 2, 0])
+
+    def test_top_k_larger_than_vocab(self):
+        logits = np.array([1.0, 0.0])
+        assert len(top_k_token_ids(logits, 10)) == 2
+
+    def test_config_factories(self):
+        greedy = GenerationConfig.greedy_config(50)
+        sampled = GenerationConfig.sampling_config(0.6, 70, seed=3)
+        assert greedy.greedy and greedy.max_new_tokens == 50
+        assert not sampled.greedy and sampled.temperature == 0.6 and sampled.seed == 3

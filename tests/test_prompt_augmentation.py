@@ -1,0 +1,49 @@
+"""Tests for the speed-prompt augmentation (GPT-4 prompt-set substitute)."""
+
+import pytest
+
+from repro.data.prompt_augmentation import augmented_prompts, build_speed_prompt_set
+from repro.evalbench.rtllm import rtllm_suite
+from repro.evalbench.vgen import vgen_suite
+
+
+class TestAugmentedPrompts:
+    def test_exact_count(self):
+        assert len(augmented_prompts(25)) == 25
+
+    def test_prompts_have_instruction_prefix(self):
+        for prompt in augmented_prompts(10):
+            assert prompt.startswith("Please act as a professional Verilog designer.")
+
+    def test_deterministic_for_seed(self):
+        assert augmented_prompts(12, seed=3) == augmented_prompts(12, seed=3)
+
+    def test_seeds_produce_different_sets(self):
+        assert augmented_prompts(12, seed=3) != augmented_prompts(12, seed=4)
+
+    def test_prompts_are_diverse(self):
+        prompts = augmented_prompts(40)
+        assert len(set(prompts)) > 30
+
+    def test_zero_count(self):
+        assert augmented_prompts(0) == []
+
+
+class TestSpeedPromptSet:
+    def test_paper_size_set(self):
+        prompts = build_speed_prompt_set(total=575, suites=(rtllm_suite(), vgen_suite()))
+        assert len(prompts) == 575
+
+    def test_benchmark_prompts_come_first(self):
+        suite = rtllm_suite()
+        prompts = build_speed_prompt_set(total=40, suites=(suite,))
+        assert prompts[: len(suite)] == suite.prompts()
+
+    def test_truncates_when_suites_exceed_total(self):
+        suite = rtllm_suite()
+        prompts = build_speed_prompt_set(total=5, suites=(suite,))
+        assert len(prompts) == 5
+
+    def test_without_suites(self):
+        prompts = build_speed_prompt_set(total=12)
+        assert len(prompts) == 12

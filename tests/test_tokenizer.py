@@ -1,0 +1,176 @@
+"""Tests for the vocabulary and BPE tokenizer."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.tokenizer.bpe import BPETokenizer
+from repro.tokenizer.vocab import SpecialTokens, Vocabulary
+from repro.verilog.fragments import FRAG, insert_frag_markers
+
+
+CORPUS = [
+    "module data_register (input clk, input [3:0] data_in, output reg [3:0] data_out);",
+    "always @(posedge clk) begin data_out <= data_in; end endmodule",
+    "module counter (input clk, input rst, output reg [7:0] count);",
+    "if (rst) count <= 0; else count <= count + 1;",
+    "assign sum = a + b; assign carry = a & b;",
+    "Write a Verilog module named counter that counts up by one.",
+]
+
+
+@pytest.fixture(scope="module")
+def trained_tokenizer():
+    tokenizer = BPETokenizer()
+    tokenizer.train(CORPUS, vocab_size=300)
+    return tokenizer
+
+
+class TestVocabulary:
+    def test_special_tokens_have_fixed_ids(self):
+        vocab = Vocabulary()
+        assert vocab.pad_id == 0
+        assert vocab.unk_id == 1
+        assert vocab.bos_id == 2
+        assert vocab.eos_id == 3
+        assert vocab.frag_id == 4
+        assert vocab.ignore_id == 5
+
+    def test_add_is_idempotent(self):
+        vocab = Vocabulary()
+        first = vocab.add("module")
+        second = vocab.add("module")
+        assert first == second
+
+    def test_unknown_token_maps_to_unk(self):
+        vocab = Vocabulary()
+        assert vocab.token_to_id("never_seen") == vocab.unk_id
+
+    def test_id_round_trip(self):
+        vocab = Vocabulary(["alpha", "beta"])
+        assert vocab.id_to_token(vocab.token_to_id("beta")) == "beta"
+
+    def test_out_of_range_id(self):
+        vocab = Vocabulary()
+        assert vocab.id_to_token(10_000) == vocab.special.unk
+
+    def test_contains(self):
+        vocab = Vocabulary(["x"])
+        assert "x" in vocab
+        assert "y" not in vocab
+
+    def test_save_load_round_trip(self, tmp_path):
+        vocab = Vocabulary(["module", "endmodule"])
+        path = tmp_path / "vocab.json"
+        vocab.save(path)
+        loaded = Vocabulary.load(path)
+        assert loaded.tokens() == vocab.tokens()
+        assert loaded.frag_id == vocab.frag_id
+
+
+class TestBPETraining:
+    def test_vocab_size_respected(self, trained_tokenizer):
+        assert trained_tokenizer.vocab_size <= 300
+
+    def test_learns_merges(self, trained_tokenizer):
+        assert len(trained_tokenizer.merges) > 0
+
+    def test_frequent_words_become_single_tokens(self, trained_tokenizer):
+        pieces = trained_tokenizer.encode_to_tokens("module")
+        assert len(pieces) <= 3
+
+    def test_min_frequency_limits_merges(self):
+        tokenizer = BPETokenizer()
+        tokenizer.train(["abcd efgh"], vocab_size=500, min_frequency=2)
+        # Every pair occurs once, so no merges should be learned.
+        assert tokenizer.merges == []
+
+
+class TestEncodingDecoding:
+    def test_encode_decode_round_trip_tokens(self, trained_tokenizer):
+        text = "module counter (input clk);"
+        decoded = trained_tokenizer.decode(trained_tokenizer.encode(text))
+        assert decoded.split() == text.split()
+
+    def test_frag_is_single_token(self, trained_tokenizer):
+        ids = trained_tokenizer.encode(f"{FRAG}module{FRAG}")
+        tokens = [trained_tokenizer.vocab.id_to_token(i) for i in ids]
+        assert tokens.count(FRAG) == 2
+
+    def test_frag_never_merges_with_code(self, trained_tokenizer):
+        annotated = insert_frag_markers("module m(input a, output b); assign b = a; endmodule\n")
+        ids = trained_tokenizer.encode(annotated)
+        tokens = [trained_tokenizer.vocab.id_to_token(i) for i in ids]
+        for token in tokens:
+            assert token == FRAG or FRAG not in token
+
+    def test_decode_strips_frag_when_asked(self, trained_tokenizer):
+        ids = trained_tokenizer.encode(f"{FRAG}module{FRAG} m;")
+        code = trained_tokenizer.decode(ids, keep_frag=False)
+        assert FRAG not in code
+        assert "module" in code
+
+    def test_bos_eos(self, trained_tokenizer):
+        ids = trained_tokenizer.encode("module", add_bos=True, add_eos=True)
+        assert ids[0] == trained_tokenizer.vocab.bos_id
+        assert ids[-1] == trained_tokenizer.vocab.eos_id
+
+    def test_pad_and_ignore_dropped_in_decode(self, trained_tokenizer):
+        vocab = trained_tokenizer.vocab
+        ids = [vocab.pad_id, vocab.ignore_id] + trained_tokenizer.encode("wire x;")
+        assert trained_tokenizer.decode(ids).strip().startswith("wire")
+
+    def test_unknown_characters_become_unk(self, trained_tokenizer):
+        ids = trained_tokenizer.encode("ééé")
+        assert all(isinstance(i, int) for i in ids)
+
+    def test_newlines_preserved(self, trained_tokenizer):
+        text = "module m;\nwire x;\nendmodule"
+        decoded = trained_tokenizer.decode(trained_tokenizer.encode(text))
+        assert decoded.count("\n") == text.count("\n")
+
+    def test_empty_text(self, trained_tokenizer):
+        assert trained_tokenizer.encode("") == []
+        assert trained_tokenizer.decode([]) == ""
+
+    def test_save_load_round_trip(self, trained_tokenizer, tmp_path):
+        path = tmp_path / "tok.json"
+        trained_tokenizer.save(path)
+        loaded = BPETokenizer.load(path)
+        text = "always @(posedge clk) begin count <= count + 1; end"
+        assert loaded.encode(text) == trained_tokenizer.encode(text)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.lists(
+        st.sampled_from(
+            ["module", "endmodule", "input", "output", "wire", "reg", "clk", "data_in", "count", "assign",
+             "=", "<=", ";", "(", ")", "[3:0]", "+", "1'b1", "posedge", "begin", "end"]
+        ),
+        min_size=1,
+        max_size=30,
+    )
+)
+def test_round_trip_preserves_token_stream(words):
+    """Property: decoding re-produces the same whitespace-separated words."""
+    tokenizer = BPETokenizer()
+    tokenizer.train(CORPUS + [" ".join(words)], vocab_size=350)
+    text = " ".join(words)
+    decoded = tokenizer.decode(tokenizer.encode(text))
+    assert decoded.split() == text.split()
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(0, 1000))
+def test_frag_annotation_round_trip_through_tokenizer(seed):
+    """Property: [FRAG]-annotated corpus code keeps its marker count through encode/decode."""
+    from repro.data.corpus import CorpusConfig, SyntheticVerilogCorpus
+
+    corpus = SyntheticVerilogCorpus(CorpusConfig(seed=3))
+    item = corpus.generate_item("register", seed)
+    annotated = insert_frag_markers(item.code)
+    tokenizer = BPETokenizer()
+    tokenizer.train([annotated, item.code], vocab_size=400)
+    ids = tokenizer.encode(annotated)
+    decoded = tokenizer.decode(ids, keep_frag=True)
+    assert decoded.count(FRAG) == annotated.count(FRAG)

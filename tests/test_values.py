@@ -1,0 +1,164 @@
+"""Tests for four-state values."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim.values import FourState, as_four_state
+
+
+class TestConstruction:
+    def test_from_int(self):
+        value = FourState.from_int(10, width=8)
+        assert value.to_int() == 10
+        assert value.is_fully_known
+
+    def test_from_int_masks_to_width(self):
+        value = FourState.from_int(0x1FF, width=8)
+        assert value.to_int() == 0xFF
+
+    def test_negative_from_int_two_complement(self):
+        value = FourState.from_int(-1, width=4)
+        assert value.value == 0xF
+
+    def test_unknown_value(self):
+        value = FourState.unknown_value(4)
+        assert not value.is_fully_known
+        assert value.to_bit_string() == "xxxx"
+
+    def test_high_z(self):
+        value = FourState.high_z(3)
+        assert value.to_bit_string() == "zzz"
+
+    def test_from_bits(self):
+        value = FourState.from_bits("10x1z")
+        assert value.width == 5
+        assert value.bit(0) == "z"
+        assert value.bit(1) == "1"
+        assert value.bit(2) == "x"
+        assert value.bit(4) == "1"
+
+    def test_from_bits_question_mark_is_z(self):
+        assert FourState.from_bits("1?").bit(0) == "z"
+
+    def test_from_bits_invalid_char(self):
+        with pytest.raises(ValueError):
+            FourState.from_bits("12")
+
+    def test_zero_width_rejected(self):
+        with pytest.raises(ValueError):
+            FourState(width=0, value=0)
+
+    def test_from_literal_binary(self):
+        value = FourState.from_literal(4, "b", "1010")
+        assert value.to_int() == 10
+        assert value.width == 4
+
+    def test_from_literal_hex(self):
+        assert FourState.from_literal(8, "h", "A5").to_int() == 0xA5
+
+    def test_from_literal_octal(self):
+        assert FourState.from_literal(6, "o", "17").to_int() == 0o17
+
+    def test_from_literal_decimal(self):
+        assert FourState.from_literal(8, "d", "42").to_int() == 42
+
+    def test_from_literal_decimal_unsized(self):
+        value = FourState.from_literal(None, "d", "7")
+        assert value.width == 32
+        assert value.to_int() == 7
+
+    def test_from_literal_with_x(self):
+        value = FourState.from_literal(4, "b", "1x0z")
+        assert value.bit(2) == "x"
+        assert value.bit(0) == "z"
+
+    def test_from_literal_truncates(self):
+        assert FourState.from_literal(4, "h", "FF").to_int() == 0xF
+
+    def test_from_literal_pads_with_zero(self):
+        assert FourState.from_literal(8, "b", "1").to_int() == 1
+
+    def test_from_literal_underscores(self):
+        assert FourState.from_literal(16, "h", "DE_AD").to_int() == 0xDEAD
+
+
+class TestInterpretation:
+    def test_signed_to_int(self):
+        value = FourState.from_int(0xF, width=4, signed=True)
+        assert value.to_int() == -1
+
+    def test_to_signed_int_regardless_of_flag(self):
+        value = FourState.from_int(0x8, width=4)
+        assert value.to_signed_int() == -8
+
+    def test_is_true_for_nonzero(self):
+        assert FourState.from_int(2, width=4).is_true() is True
+
+    def test_is_true_for_zero(self):
+        assert FourState.from_int(0, width=4).is_true() is False
+
+    def test_is_true_unknown(self):
+        assert FourState.unknown_value(4).is_true() is None
+
+    def test_partially_known_nonzero_is_true(self):
+        # A value with a known 1 bit is true even if other bits are X.
+        value = FourState(width=4, value=0b0010, unknown=0b1000)
+        assert value.is_true() is True
+
+    def test_bit_out_of_range_is_x(self):
+        assert FourState.from_int(1, width=2).bit(5) == "x"
+
+    def test_to_bit_string_msb_first(self):
+        assert FourState.from_int(0b1010, width=4).to_bit_string() == "1010"
+
+
+class TestResize:
+    def test_zero_extend(self):
+        assert FourState.from_int(3, width=2).resize(6).to_int() == 3
+
+    def test_sign_extend(self):
+        value = FourState.from_int(0b10, width=2, signed=True).resize(4)
+        assert value.to_bit_string() == "1110"
+
+    def test_truncate(self):
+        assert FourState.from_int(0xAB, width=8).resize(4).to_int() == 0xB
+
+    def test_extend_unknown_msb(self):
+        value = FourState.from_bits("x1").resize(4)
+        assert value.to_bit_string() == "xxx1"
+
+    def test_resize_same_width_identity(self):
+        value = FourState.from_int(5, width=4)
+        assert value.resize(4) is value
+
+
+class TestAsFourState:
+    def test_int_coercion(self):
+        assert as_four_state(5).to_int() == 5
+
+    def test_bool_coercion(self):
+        assert as_four_state(True).width == 1
+
+    def test_passthrough(self):
+        value = FourState.from_int(1, width=1)
+        assert as_four_state(value) is value
+
+
+@given(st.integers(min_value=0, max_value=2**32 - 1), st.integers(min_value=1, max_value=48))
+def test_int_round_trip(value, width):
+    """Property: from_int/to_int round-trips modulo the width mask."""
+    v = FourState.from_int(value, width=width)
+    assert v.to_int() == value % (1 << width)
+
+
+@given(st.text(alphabet="01xz", min_size=1, max_size=40))
+def test_bit_string_round_trip(bits):
+    """Property: from_bits/to_bit_string is the identity."""
+    assert FourState.from_bits(bits).to_bit_string() == bits
+
+
+@given(st.integers(min_value=0, max_value=2**16 - 1), st.integers(min_value=1, max_value=16), st.integers(min_value=1, max_value=32))
+def test_resize_preserves_unsigned_value_when_growing(value, width, extra):
+    """Property: zero-extension never changes the unsigned value."""
+    v = FourState.from_int(value, width=width)
+    assert v.resize(width + extra).to_int() == v.to_int()
