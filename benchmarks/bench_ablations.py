@@ -25,6 +25,8 @@ from repro.core.decoding import DecodingStrategy, SpeculativeDecoder
 from repro.core.labels import apply_syntax_enrichment, apply_syntax_enrichment_reference, build_shifted_labels
 from repro.models.generation import GenerationConfig
 
+from conftest import SMOKE, emit_bench_json
+
 
 def _mean_tokens_per_step(decoder, prompts, budget=64, temperature=0.0):
     """Mean committed tokens per decoding step over ``prompts``.
@@ -57,11 +59,16 @@ def test_ablation_integrity_check(benchmark, trained_pipeline, rtllm_subset):
     print(f"with integrity check    : {tps_with:.2f} tokens/step")
     print(f"without integrity check : {tps_without:.2f} tokens/step")
     print("(the check trades a little per-step progress for fragment-complete outputs)")
+    emit_bench_json(
+        "ablation_integrity_check",
+        {"with_integrity_tokens_per_step": tps_with, "without_integrity_tokens_per_step": tps_without},
+    )
 
     benchmark.pedantic(
         lambda: with_integrity.generate_from_text(prompts[0], GenerationConfig.greedy_config(32)), rounds=1, iterations=1
     )
-    assert tps_with > 1.0
+    if not SMOKE:
+        assert tps_with > 1.0
     # Integrity truncation can only remove tokens from an accepted run.
     assert tps_with <= tps_without + 1e-9
 
@@ -86,6 +93,7 @@ def test_ablation_acceptance_threshold(benchmark, trained_pipeline, rtllm_subset
     print("\n=== Ablation: typical-acceptance threshold ===")
     for label, rate in rates.items():
         print(f"{label:<38}: {rate:.2f} tokens/step")
+    emit_bench_json("ablation_acceptance_threshold", rates)
 
     decoder = SpeculativeDecoder(model, tokenizer, strategy=DecodingStrategy.OURS)
     benchmark.pedantic(
@@ -109,6 +117,7 @@ def test_ablation_head_count(benchmark, trained_pipeline, rtllm_subset):
     print("\n=== Ablation: number of speculative heads used at decode time ===")
     for heads, rate in rates.items():
         print(f"{heads:>2} heads: {rate:.2f} tokens/step")
+    emit_bench_json("ablation_head_count", {str(heads): rate for heads, rate in rates.items()})
 
     decoder = SpeculativeDecoder(model, tokenizer, strategy=DecodingStrategy.OURS, max_speculative_heads=1)
     benchmark.pedantic(

@@ -14,7 +14,7 @@ from repro.evalbench.runner import EvaluationRunner
 from repro.evalbench.speed import measure_speed
 from repro.models.generation import GenerationConfig
 
-from conftest import MAX_NEW_TOKENS, SAMPLES_PER_PROMPT
+from conftest import MAX_NEW_TOKENS, SAMPLES_PER_PROMPT, SMOKE, emit_bench_json
 
 
 @pytest.mark.benchmark(group="fig1-overview")
@@ -46,11 +46,15 @@ def test_fig1_quality_vs_speed(benchmark, trained_pipeline, rtllm_subset):
             f"{point['tokens_per_step']:>12.2f} {point['tokens_per_second']:>10.1f}"
         )
 
+    emit_bench_json("fig1_overview", points)
+
     decoder = trained_pipeline.decoder_for("ours")
     benchmark.pedantic(
         lambda: decoder.generate_from_text(prompts[0], GenerationConfig.greedy_config(32)), rounds=1, iterations=1
     )
 
-    # Shape: the speculative methods are faster per step than NTP.
-    assert points["ours"]["tokens_per_step"] > points["ntp"]["tokens_per_step"]
-    assert points["medusa"]["tokens_per_step"] > points["ntp"]["tokens_per_step"]
+    # Shape: the speculative methods are faster per step than NTP (needs a
+    # properly trained model, so not asserted in CI smoke mode).
+    if not SMOKE:
+        assert points["ours"]["tokens_per_step"] > points["ntp"]["tokens_per_step"]
+        assert points["medusa"]["tokens_per_step"] > points["ntp"]["tokens_per_step"]

@@ -14,6 +14,8 @@ import pytest
 from repro.evalbench.rtllm import rtllm_suite
 from repro.models.generation import GenerationConfig
 
+from conftest import emit_bench_json
+
 
 @pytest.mark.benchmark(group="fig5-steps")
 def test_fig5_decoding_steps(benchmark, trained_pipeline):
@@ -37,6 +39,19 @@ def test_fig5_decoding_steps(benchmark, trained_pipeline):
             f"{method:<8} {result.steps:>6} {result.tokens_generated:>7} {result.tokens_per_step:>12.2f} "
             f"{boundary_steps:>20}/{len(result.step_records)}"
         )
+
+    emit_bench_json(
+        "fig5_steps",
+        {
+            method: {
+                "steps": result.steps,
+                "tokens": result.tokens_generated,
+                "tokens_per_step": result.tokens_per_step,
+                "boundary_steps": sum(1 for r in result.step_records if r.ends_at_boundary),
+            }
+            for method, result in results.items()
+        },
+    )
 
     decoder = trained_pipeline.decoder_for("ours")
     benchmark.pedantic(

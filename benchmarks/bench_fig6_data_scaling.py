@@ -19,24 +19,31 @@ from repro.evalbench.rtllm import rtllm_suite
 from repro.evalbench.runner import EvaluationRunner
 from repro.evalbench.vgen import vgen_suite
 
+from conftest import SMOKE, emit_bench_json
+
 FULL = os.environ.get("REPRO_BENCH_FULL", "0") == "1"
-FRACTIONS = (0.25, 0.5, 0.75, 1.0) if FULL else (0.5, 1.0)
-PROBLEMS = 6 if FULL else 3
-SAMPLES = 5 if FULL else 2
+if SMOKE:
+    FRACTIONS = (1.0,)
+    PROBLEMS = 2
+    SAMPLES = 1
+else:
+    FRACTIONS = (0.25, 0.5, 0.75, 1.0) if FULL else (0.5, 1.0)
+    PROBLEMS = 6 if FULL else 3
+    SAMPLES = 5 if FULL else 2
 
 
 def _encdec_config(fraction: float) -> PipelineConfig:
     return PipelineConfig(
-        corpus_items=200 if FULL else 120,
-        vocab_size=700 if FULL else 600,
+        corpus_items=200 if FULL else (60 if SMOKE else 120),
+        vocab_size=700 if FULL else (450 if SMOKE else 600),
         architecture="encoder-decoder",
         model_dim=48 if FULL else 32,
         num_layers=1,
         num_attention_heads=2,
-        num_medusa_heads=6,
+        num_medusa_heads=6 if not SMOKE else 4,
         max_seq_len=320,
-        epochs=6 if FULL else 2,
-        max_train_seq_len=224,
+        epochs=6 if FULL else (1 if SMOKE else 2),
+        max_train_seq_len=224 if not SMOKE else 160,
         data_fraction=fraction,
     )
 
@@ -75,6 +82,11 @@ def test_fig6_pass5_vs_data_size(benchmark):
             f"{fraction:<9} {point['examples']:>9} {suite_name:<6} {method:<8} "
             f"{point['function_pass@5']:>12.2f} {point['syntax_pass@5']:>11.2f}"
         )
+
+    emit_bench_json(
+        "fig6_data_scaling",
+        {f"{fraction}/{method}/{suite}": point for (fraction, method, suite), point in series.items()},
+    )
 
     # Timed kernel: one greedy decode with the largest-fraction "ours" model.
     decoder = pipelines[FRACTIONS[-1]].decoder_for("ours")

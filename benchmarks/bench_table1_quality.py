@@ -19,7 +19,14 @@ import pytest
 
 from repro.evalbench.runner import EvaluationRunner
 
-from conftest import MAX_NEW_TOKENS, SAMPLES_PER_PROMPT
+from conftest import MAX_NEW_TOKENS, SAMPLES_PER_PROMPT, emit_bench_json
+
+
+def _rows_payload(reports: dict) -> dict:
+    return {
+        method: {metric: report.row(metric) for metric in ("function", "syntax")}
+        for method, report in reports.items()
+    }
 
 
 def _print_rows(suite_name: str, reports: dict) -> None:
@@ -54,6 +61,7 @@ def test_table1_rtllm_quality(benchmark, trained_pipeline, rtllm_subset):
     """Regenerate the RTLLM rows of Table I; the timed kernel is one full-prompt grading pass."""
     reports = _evaluate_suite(trained_pipeline, rtllm_subset)
     _print_rows("RTLLM", reports)
+    emit_bench_json("table1_rtllm_quality", _rows_payload(reports))
 
     runner = EvaluationRunner(trained_pipeline.decoder_for("ours"), samples_per_prompt=1, max_new_tokens=48)
     problem = rtllm_subset[0]
@@ -69,6 +77,7 @@ def test_table1_vgen_quality(benchmark, trained_pipeline, vgen_subset):
     """Regenerate the VGen rows of Table I."""
     reports = _evaluate_suite(trained_pipeline, vgen_subset)
     _print_rows("VGen", reports)
+    emit_bench_json("table1_vgen_quality", _rows_payload(reports))
 
     runner = EvaluationRunner(trained_pipeline.decoder_for("ours"), samples_per_prompt=1, max_new_tokens=48)
     problem = vgen_subset[0]

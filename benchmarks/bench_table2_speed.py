@@ -8,10 +8,15 @@ the mean speed is reported for the three methods.
 
 Two speed figures are printed:
 
-* wall-clock tokens/second (eq. 3 verbatim) — affected by the Python-level
-  overhead of this reproduction's candidate verification pass;
+* wall-clock tokens/second (eq. 3 verbatim), measured over the decode loop
+  with the one-off prompt prefill excluded;
 * tokens per decoding step — the architecture-independent quantity the paper's
   speedup tracks (one step = one forward pass of the large model).
+
+A second table compares KV-cached incremental decoding against the
+full-recompute path for every method: both must commit identical token
+sequences, and the cached path must be at least 2x faster at the default
+bench sizes (the whole point of the cache refactor).
 
 Expected shape: Ours > Medusa > NTP on tokens/step, with Ours and Medusa both
 well above 1 token/step and NTP exactly 1.
@@ -21,10 +26,10 @@ from __future__ import annotations
 
 import pytest
 
-from repro.evalbench.speed import measure_speed, speedup
+from repro.evalbench.speed import compare_cache_modes, measure_speed, speedup
 from repro.models.generation import GenerationConfig
 
-from conftest import SPEED_PROMPTS
+from conftest import SMOKE, SPEED_PROMPTS, emit_bench_json
 
 
 def _speed_prompts(pipeline, rtllm_subset, vgen_subset, count):
@@ -37,15 +42,17 @@ def _speed_prompts(pipeline, rtllm_subset, vgen_subset, count):
 def test_table2_generation_speed(benchmark, trained_pipeline, rtllm_subset, vgen_subset):
     """Regenerate Table II for the decoder-only backbone."""
     prompts = _speed_prompts(trained_pipeline, rtllm_subset, vgen_subset, SPEED_PROMPTS)
+    max_new_tokens = 48 if SMOKE else 96
 
     reports = {}
     for method in ("ours", "medusa", "ntp"):
         decoder = trained_pipeline.decoder_for(method)
         reports[method] = measure_speed(
-            decoder, prompts, max_new_tokens=96, sampling_temperature=0.8, include_sampling=True, label=method
+            decoder, prompts, max_new_tokens=max_new_tokens, sampling_temperature=0.8, include_sampling=True,
+            label=method,
         )
 
-    print("\n=== Table II (decoder-only backbone) ===")
+    print("\n=== Table II (decoder-only backbone, KV-cached decoding) ===")
     header = (
         f"{'method':<8} {'tokens/s':>10} {'speedup':>9} {'tokens/step':>12} {'step-speedup':>13} {'mean steps':>11}"
     )
@@ -59,14 +66,56 @@ def test_table2_generation_speed(benchmark, trained_pipeline, rtllm_subset, vgen
             f"{report.mean_steps:>11.1f}"
         )
 
+    # Cached vs. full-recompute decoding: the wall-clock win of the KV cache.
+    comparison_prompts = prompts[: max(2, len(prompts) // 2)]
+    comparisons = {}
+    for method in ("ours", "medusa", "ntp"):
+        comparisons[method] = compare_cache_modes(
+            trained_pipeline.decoder_for(method),
+            trained_pipeline.decoder_for(method, use_cache=False),
+            comparison_prompts,
+            max_new_tokens=max_new_tokens,
+            label=method,
+        )
+
+    print("\n=== KV cache: incremental vs. full-recompute decoding ===")
+    header = f"{'method':<8} {'cached tok/s':>13} {'uncached tok/s':>15} {'cache speedup':>14} {'identical':>10}"
+    print(header)
+    print("-" * len(header))
+    for method, comparison in comparisons.items():
+        print(
+            f"{method:<8} {comparison.cached.mean_tokens_per_second:>13.1f} "
+            f"{comparison.uncached.mean_tokens_per_second:>15.1f} "
+            f"{comparison.wall_clock_speedup:>14.2f} {str(comparison.tokens_identical):>10}"
+        )
+
+    emit_bench_json(
+        "table2_speed",
+        {
+            "methods": {method: report.to_dict() for method, report in reports.items()},
+            "ntp_speedup": {method: speedup(report, baseline) for method, report in reports.items()},
+            "step_speedup": {method: speedup(report, baseline, use_steps=True) for method, report in reports.items()},
+            "cache_comparison": {method: comparison.to_dict() for method, comparison in comparisons.items()},
+        },
+    )
+
     # Timed kernel: a single greedy decode with the "ours" decoder.
     decoder = trained_pipeline.decoder_for("ours")
     benchmark.pedantic(
         lambda: decoder.generate_from_text(prompts[0], GenerationConfig.greedy_config(48)), rounds=1, iterations=1
     )
 
-    # Shape assertions (paper: speculative methods commit >1 token per step; NTP exactly 1).
+    # The cache is an optimisation, not a behaviour change.
+    assert all(comparison.tokens_identical for comparison in comparisons.values())
     assert reports["ntp"].mean_tokens_per_step == pytest.approx(1.0, abs=1e-6)
-    assert reports["ours"].mean_tokens_per_step > 1.0
-    assert reports["medusa"].mean_tokens_per_step > 1.0
-    assert speedup(reports["ours"], baseline, use_steps=True) > 1.0
+    if not SMOKE:
+        # Shape assertions (paper: speculative methods commit >1 token per step;
+        # NTP exactly 1) and the headline of this PR: cached decoding is at
+        # least 2x faster than full recompute at the default bench sizes.
+        assert reports["ours"].mean_tokens_per_step > 1.0
+        assert reports["medusa"].mean_tokens_per_step > 1.0
+        assert speedup(reports["ours"], baseline, use_steps=True) > 1.0
+        for method, comparison in comparisons.items():
+            assert comparison.wall_clock_speedup >= 2.0, (
+                f"{method}: cached decoding only {comparison.wall_clock_speedup:.2f}x faster"
+            )

@@ -14,6 +14,14 @@ predictions), verifies all candidates in a single batched forward pass — the
 stand-in for Medusa's tree attention — scores them with the typical-acceptance
 rule (eq. 1), optionally truncates to the last fragment boundary, and commits
 the longest accepted candidate prefix.
+
+By default the decoder runs **incrementally** over a per-layer KV cache
+(:mod:`repro.nn.kv_cache`): the prompt is prefilled once, every verification
+is one batched cached forward over just the candidate tokens, and the cache is
+rolled back to the committed prefix afterwards so rejected speculative tokens
+never pollute later steps.  Pass ``use_cache=False`` to fall back to the
+original full-recompute loop (kept for equivalence testing); both paths commit
+identical token sequences.
 """
 
 from __future__ import annotations
@@ -62,13 +70,28 @@ class DecodeResult:
     wall_time_seconds: float
     step_records: List[StepRecord] = field(default_factory=list)
     stopped_by_eos: bool = False
+    #: Time spent on the one-off prompt prefill (cached decoding); 0.0 for the
+    #: full-recompute path, which has no separable prefill.
+    prefill_seconds: float = 0.0
+
+    @property
+    def decode_seconds(self) -> float:
+        """Wall time of the decode loop, excluding the one-off prompt prefill."""
+        return max(self.wall_time_seconds - self.prefill_seconds, 0.0)
 
     @property
     def tokens_per_second(self) -> float:
-        """Raw generation speed (eq. 3 numerator / denominator for one output)."""
-        if self.wall_time_seconds <= 0:
+        """Raw generation speed (eq. 3 numerator / denominator for one output).
+
+        Measured with ``time.perf_counter`` over the decode loop only:
+        tokenization happens outside the timed region and the one-off prompt
+        prefill is excluded, so cached and uncached runs (and prompts of
+        different lengths) compare apples-to-apples on the per-token rate.
+        """
+        denominator = self.decode_seconds if self.decode_seconds > 0 else self.wall_time_seconds
+        if denominator <= 0:
             return 0.0
-        return self.tokens_generated / self.wall_time_seconds
+        return self.tokens_generated / denominator
 
     @property
     def tokens_per_step(self) -> float:
@@ -89,12 +112,16 @@ class SpeculativeDecoder:
         acceptance: Optional[TypicalAcceptance] = None,
         num_candidates: int = 3,
         max_speculative_heads: Optional[int] = None,
+        use_cache: bool = True,
     ) -> None:
         self.model = model
         self.tokenizer = tokenizer
         self.strategy = strategy
         self.acceptance = acceptance or TypicalAcceptance()
         self.num_candidates = max(1, num_candidates)
+        #: Incremental decoding over a per-layer KV cache (the default); set
+        #: False to re-run the full forward every step (equivalence testing).
+        self.use_cache = use_cache
         self.max_speculative_heads = (
             model.num_medusa_heads if max_speculative_heads is None else min(max_speculative_heads, model.num_medusa_heads)
         )
@@ -112,8 +139,18 @@ class SpeculativeDecoder:
         config = config or GenerationConfig.greedy_config()
         rng = np.random.default_rng(config.seed)
         start = time.perf_counter()
+        prefill_seconds = 0.0
         if self.strategy is DecodingStrategy.NTP or self.model.num_medusa_heads == 0:
-            output_ids, records, stopped = self._generate_ntp(list(prompt_ids), config, rng)
+            if self.use_cache:
+                output_ids, records, stopped, prefill_seconds = self._generate_ntp_cached(
+                    list(prompt_ids), config, rng
+                )
+            else:
+                output_ids, records, stopped = self._generate_ntp(list(prompt_ids), config, rng)
+        elif self.use_cache:
+            output_ids, records, stopped, prefill_seconds = self._generate_speculative_cached(
+                list(prompt_ids), config, rng
+            )
         else:
             output_ids, records, stopped = self._generate_speculative(list(prompt_ids), config, rng)
         elapsed = time.perf_counter() - start
@@ -128,6 +165,7 @@ class SpeculativeDecoder:
             wall_time_seconds=elapsed,
             step_records=records,
             stopped_by_eos=stopped,
+            prefill_seconds=prefill_seconds,
         )
 
     def generate_from_text(self, prompt: str, config: Optional[GenerationConfig] = None) -> DecodeResult:
@@ -156,6 +194,22 @@ class SpeculativeDecoder:
             used = len(prompt_ids) + output_len + extra
         return used >= self.model.backbone.max_seq_len - 1
 
+    def _prefill(self, prompt_ids: List[int], cache) -> Tuple[np.ndarray, List[np.ndarray]]:
+        """Run the one-off prompt forward that seeds the KV cache.
+
+        For encoder-decoder models this encodes the prompt (caching the
+        encoder memory and, lazily, its per-layer cross-attention projections)
+        and prefills the decoder with BOS; for decoder-only models it prefills
+        the whole prompt.  Returns the last-position (base, head) logits.
+        """
+        if self.model.is_encoder_decoder:
+            self.model.encode_prompt(np.asarray(prompt_ids, dtype=np.int64))
+            prefill_ids = np.asarray([[self.bos_id]], dtype=np.int64)
+        else:
+            prefill_ids = np.asarray([prompt_ids], dtype=np.int64)
+        base_logits, head_logits = self.model.forward(prefill_ids, cache=cache)
+        return base_logits[0, -1], [h[0, -1] for h in head_logits]
+
     # ------------------------------------------------------------------ #
     # NTP baseline
     # ------------------------------------------------------------------ #
@@ -178,6 +232,35 @@ class SpeculativeDecoder:
                 stopped = True
                 break
         return output_ids, records, stopped
+
+    def _generate_ntp_cached(
+        self, prompt_ids: List[int], config: GenerationConfig, rng: np.random.Generator
+    ) -> Tuple[List[int], List[StepRecord], bool, float]:
+        """NTP decoding with a KV cache: prefill once, then one-token forwards."""
+        output_ids: List[int] = []
+        records: List[StepRecord] = []
+        stopped = False
+        if self._truncate_budget(prompt_ids, 0, 1):
+            # Prompt already fills the context window; match the uncached path
+            # (which breaks before its first forward) instead of overflowing.
+            return output_ids, records, stopped, 0.0
+        cache = self.model.new_cache()
+        prefill_start = time.perf_counter()
+        last_base, _ = self._prefill(prompt_ids, cache)
+        prefill_seconds = time.perf_counter() - prefill_start
+        while len(output_ids) < config.max_new_tokens:
+            if self._truncate_budget(prompt_ids, len(output_ids), 1):
+                break
+            next_token = sample_from_logits(last_base, config, rng)
+            output_ids.append(next_token)
+            records.append(StepRecord(proposed=1, accepted=1, committed=1, ends_at_boundary=True))
+            if next_token == self.eos_id:
+                stopped = True
+                break
+            if len(output_ids) < config.max_new_tokens and not self._truncate_budget(prompt_ids, len(output_ids), 1):
+                base_logits, _ = self.model.forward(np.asarray([[next_token]], dtype=np.int64), cache=cache)
+                last_base = base_logits[0, -1]
+        return output_ids, records, stopped, prefill_seconds
 
     # ------------------------------------------------------------------ #
     # Speculative decoding (Medusa / Ours)
@@ -230,6 +313,12 @@ class SpeculativeDecoder:
             matched += 1
         return matched
 
+    @staticmethod
+    def _pad_candidates(candidates: List[List[int]]) -> List[List[int]]:
+        """Right-pad candidates to equal length (repeating the last token) for batching."""
+        length = max(len(c) for c in candidates)
+        return [c + [c[-1]] * (length - len(c)) for c in candidates]
+
     def _verify_candidates(
         self,
         prompt_ids: List[int],
@@ -237,8 +326,8 @@ class SpeculativeDecoder:
         candidates: List[List[int]],
     ) -> List[List[np.ndarray]]:
         """Return base-model logits for every candidate position (batched)."""
-        length = max(len(c) for c in candidates)
-        padded = [c + [c[-1]] * (length - len(c)) for c in candidates]
+        padded = self._pad_candidates(candidates)
+        length = len(padded[0])
         batch_rows = []
         encoder_batch = None
         if self.model.is_encoder_decoder:
@@ -258,6 +347,57 @@ class SpeculativeDecoder:
             per_candidate.append(logits_list)
         return per_candidate
 
+    def _select_best_candidate(
+        self,
+        candidates: List[List[int]],
+        logits_lists: List[List[np.ndarray]],
+        config: GenerationConfig,
+    ) -> Tuple[List[int], int, int]:
+        """Score every verified candidate and pick the longest committed run.
+
+        The first token of each candidate comes from the base model itself and
+        is always committed; acceptance applies to the speculated tail.  Under
+        greedy decoding the verification is exact-match against the base
+        model's argmax (lossless, as in Medusa's greedy mode); under sampling
+        it is the typical-acceptance rule (eq. 1).  ``logits_lists[row][i]``
+        are the base-model logits at the position that predicts candidate
+        token ``i`` (index 0 is unused by the scoring, since token 0 is always
+        committed).  Returns ``(tokens, accepted, row)``.
+        """
+        best_tokens: List[int] = []
+        best_accepted = 0
+        best_row = 0
+        for row, (candidate, logits_list) in enumerate(zip(candidates, logits_lists)):
+            if config.greedy or config.temperature <= 0.0:
+                accepted_tail = self._greedy_match_length(logits_list[1:], candidate[1:])
+            else:
+                accepted_tail = self.acceptance.accepted_prefix_length(logits_list[1:], candidate[1:])
+            accepted = 1 + accepted_tail
+            tokens = candidate[:accepted]
+            if self.strategy is DecodingStrategy.OURS:
+                tokens = truncate_to_complete_fragment(tokens, self.frag_id, eos_id=self.eos_id)
+            # EOS anywhere in the run ends the output there.
+            if self.eos_id in tokens:
+                tokens = tokens[: tokens.index(self.eos_id) + 1]
+            if len(tokens) > len(best_tokens):
+                best_tokens = tokens
+                best_accepted = accepted
+                best_row = row
+        if not best_tokens:
+            best_tokens = [candidates[0][0]]
+            best_accepted = 1
+            best_row = 0
+        return best_tokens, best_accepted, best_row
+
+    def _clip_candidates(
+        self, prompt_ids: List[int], output_ids: List[int], candidates: List[List[int]], remaining: int
+    ) -> List[List[int]]:
+        """Clip candidates to the remaining budget / context window."""
+        max_extra = remaining
+        while self._truncate_budget(prompt_ids, len(output_ids), max_extra) and max_extra > 1:
+            max_extra -= 1
+        return [c[:max_extra] for c in candidates]
+
     def _generate_speculative(
         self, prompt_ids: List[int], config: GenerationConfig, rng: np.random.Generator
     ) -> Tuple[List[int], List[StepRecord], bool]:
@@ -273,40 +413,10 @@ class SpeculativeDecoder:
             last_base = base_logits[0, -1]
             last_heads = [h[0, -1] for h in head_logits]
             candidates = self._propose_candidates(last_base, last_heads, config, rng)
-
-            # Clip candidates to the remaining budget / context window.
-            max_extra = remaining
-            while self._truncate_budget(prompt_ids, len(output_ids), max_extra) and max_extra > 1:
-                max_extra -= 1
-            candidates = [c[:max_extra] for c in candidates]
+            candidates = self._clip_candidates(prompt_ids, output_ids, candidates, remaining)
 
             verification = self._verify_candidates(prompt_ids, output_ids, candidates)
-
-            best_tokens: List[int] = []
-            best_accepted = 0
-            for candidate, logits_list in zip(candidates, verification):
-                # The first token comes from the base model itself and is always
-                # committed; acceptance applies to the speculated tail.  Under
-                # greedy decoding the verification is exact-match against the
-                # base model's argmax (lossless, as in Medusa's greedy mode);
-                # under sampling it is the typical-acceptance rule (eq. 1).
-                if config.greedy or config.temperature <= 0.0:
-                    accepted_tail = self._greedy_match_length(logits_list[1:], candidate[1:])
-                else:
-                    accepted_tail = self.acceptance.accepted_prefix_length(logits_list[1:], candidate[1:])
-                accepted = 1 + accepted_tail
-                tokens = candidate[:accepted]
-                if self.strategy is DecodingStrategy.OURS:
-                    tokens = truncate_to_complete_fragment(tokens, self.frag_id, eos_id=self.eos_id)
-                # EOS anywhere in the run ends the output there.
-                if self.eos_id in tokens:
-                    tokens = tokens[: tokens.index(self.eos_id) + 1]
-                if len(tokens) > len(best_tokens):
-                    best_tokens = tokens
-                    best_accepted = accepted
-            if not best_tokens:
-                best_tokens = [candidates[0][0]]
-                best_accepted = 1
+            best_tokens, best_accepted, _ = self._select_best_candidate(candidates, verification, config)
 
             output_ids.extend(best_tokens)
             records.append(
@@ -317,7 +427,76 @@ class SpeculativeDecoder:
                     ends_at_boundary=best_tokens[-1] in (self.frag_id, self.eos_id),
                 )
             )
-            if best_tokens[-1] == self.eos_id or self.eos_id in best_tokens:
+            if self.eos_id in best_tokens:
                 stopped = True
                 break
         return output_ids, records, stopped
+
+    def _generate_speculative_cached(
+        self, prompt_ids: List[int], config: GenerationConfig, rng: np.random.Generator
+    ) -> Tuple[List[int], List[StepRecord], bool, float]:
+        """Speculative decoding over a KV cache (the fast path).
+
+        The prompt is prefilled once; afterwards each step runs exactly one
+        batched incremental forward — over the candidate tokens only — which
+        serves both as the verification pass for this step and as the source
+        of the next step's proposal logits (the position of the last committed
+        token).  After typical acceptance and fragment truncation the cache is
+        collapsed to the accepted candidate's row and rolled back to the
+        committed prefix, so rejected speculative tokens never pollute it.
+        """
+        output_ids: List[int] = []
+        records: List[StepRecord] = []
+        stopped = False
+        if self._truncate_budget(prompt_ids, 0, 1):
+            # Prompt already fills the context window; match the uncached path.
+            return output_ids, records, stopped, 0.0
+        cache = self.model.new_cache()
+        prefill_start = time.perf_counter()
+        last_base, last_heads = self._prefill(prompt_ids, cache)
+        prefill_seconds = time.perf_counter() - prefill_start
+        while len(output_ids) < config.max_new_tokens:
+            remaining = config.max_new_tokens - len(output_ids)
+            if self._truncate_budget(prompt_ids, len(output_ids), 1):
+                break
+            candidates = self._propose_candidates(last_base, last_heads, config, rng)
+            candidates = self._clip_candidates(prompt_ids, output_ids, candidates, remaining)
+
+            # Batched cached verification: every candidate extends the same
+            # committed prefix, so expand the cache to one row per candidate
+            # and run one incremental forward over just the candidate tokens.
+            padded = self._pad_candidates(candidates)
+            prefix_len = cache.length
+            cache.expand_batch(len(padded))
+            base_v, heads_v = self.model.forward(np.asarray(padded, dtype=np.int64), cache=cache)
+            # Logits predicting candidate token i live at window position i-1;
+            # token 0's predictor is the last prefix position (= the proposal
+            # logits we already hold, unused by the scoring).
+            logits_lists = [
+                [last_base] + [base_v[row, i - 1] for i in range(1, len(candidate))]
+                for row, candidate in enumerate(candidates)
+            ]
+            best_tokens, best_accepted, best_row = self._select_best_candidate(candidates, logits_lists, config)
+
+            # Roll back: keep the accepted row, drop rejected/truncated tokens.
+            committed = len(best_tokens)
+            cache.keep_row(best_row)
+            cache.truncate(prefix_len + committed)
+
+            output_ids.extend(best_tokens)
+            records.append(
+                StepRecord(
+                    proposed=len(candidates[0]),
+                    accepted=best_accepted,
+                    committed=committed,
+                    ends_at_boundary=best_tokens[-1] in (self.frag_id, self.eos_id),
+                )
+            )
+            if self.eos_id in best_tokens:
+                stopped = True
+                break
+            # The verification forward already produced the logits at the last
+            # committed position — they seed the next step's proposal.
+            last_base = base_v[best_row, committed - 1]
+            last_heads = [h[best_row, committed - 1] for h in heads_v]
+        return output_ids, records, stopped, prefill_seconds

@@ -184,8 +184,12 @@ class VerilogSpecPipeline:
     # Decoding
     # ------------------------------------------------------------------ #
 
-    def decoder_for(self, method: str, num_candidates: int = 3) -> SpeculativeDecoder:
-        """Return a :class:`SpeculativeDecoder` for a trained method."""
+    def decoder_for(self, method: str, num_candidates: int = 3, use_cache: bool = True) -> SpeculativeDecoder:
+        """Return a :class:`SpeculativeDecoder` for a trained method.
+
+        ``use_cache=False`` selects the full-recompute decoding path (kept for
+        cached-vs-uncached equivalence and speed comparisons).
+        """
         if method not in self.models:
             raise KeyError(f"method {method!r} has not been trained yet")
         return SpeculativeDecoder(
@@ -193,4 +197,5 @@ class VerilogSpecPipeline:
             self.tokenizer,
             strategy=METHOD_STRATEGIES[method],
             num_candidates=num_candidates,
+            use_cache=use_cache,
         )

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import hashlib
 import re
-from typing import Dict, Iterable, List, Sequence, Set, Tuple
+from typing import Dict, List, Sequence, Set, Tuple
 
 import numpy as np
 

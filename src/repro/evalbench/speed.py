@@ -17,7 +17,7 @@ pass of the large model).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import List, Sequence
 
 from repro.core.decoding import DecodeResult, SpeculativeDecoder
 from repro.models.generation import GenerationConfig
@@ -34,7 +34,23 @@ class SpeedReport:
     mean_output_tokens: float
     mean_steps: float
     total_wall_time: float
+    #: Total one-off prompt-prefill time (cached decoding; 0.0 for the
+    #: full-recompute path).  Already excluded from the per-token rates.
+    total_prefill_time: float = 0.0
     per_output: List[DecodeResult] = field(default_factory=list)
+
+    def to_dict(self) -> dict:
+        """Machine-readable summary (benchmark JSON artifacts)."""
+        return {
+            "label": self.label,
+            "num_outputs": self.num_outputs,
+            "mean_tokens_per_second": self.mean_tokens_per_second,
+            "mean_tokens_per_step": self.mean_tokens_per_step,
+            "mean_output_tokens": self.mean_output_tokens,
+            "mean_steps": self.mean_steps,
+            "total_wall_time": self.total_wall_time,
+            "total_prefill_time": self.total_prefill_time,
+        }
 
 
 def measure_speed(
@@ -68,6 +84,7 @@ def measure_speed(
     mean_tokens = sum(r.tokens_generated for r in results) / num_outputs
     mean_steps = sum(r.steps for r in results) / num_outputs
     total_time = sum(r.wall_time_seconds for r in results)
+    total_prefill = sum(r.prefill_seconds for r in results)
     return SpeedReport(
         label=label,
         num_outputs=num_outputs,
@@ -76,6 +93,7 @@ def measure_speed(
         mean_output_tokens=mean_tokens,
         mean_steps=mean_steps,
         total_wall_time=total_time,
+        total_prefill_time=total_prefill,
         per_output=results if keep_outputs else [],
     )
 
@@ -89,3 +107,70 @@ def speedup(report: SpeedReport, baseline: SpeedReport, use_steps: bool = False)
     if baseline.mean_tokens_per_second <= 0:
         return 0.0
     return report.mean_tokens_per_second / baseline.mean_tokens_per_second
+
+
+@dataclass
+class CacheComparison:
+    """Cached vs. full-recompute decoding for one strategy on the same prompts."""
+
+    cached: SpeedReport
+    uncached: SpeedReport
+    #: True when both decoding paths committed identical token sequences for
+    #: every output — the equivalence the cache refactor guarantees.
+    tokens_identical: bool
+
+    @property
+    def wall_clock_speedup(self) -> float:
+        """Cached tokens/sec over uncached tokens/sec."""
+        if self.uncached.mean_tokens_per_second <= 0:
+            return 0.0
+        return self.cached.mean_tokens_per_second / self.uncached.mean_tokens_per_second
+
+    def to_dict(self) -> dict:
+        return {
+            "cached": self.cached.to_dict(),
+            "uncached": self.uncached.to_dict(),
+            "wall_clock_speedup": self.wall_clock_speedup,
+            "tokens_identical": self.tokens_identical,
+        }
+
+
+def compare_cache_modes(
+    cached_decoder: SpeculativeDecoder,
+    uncached_decoder: SpeculativeDecoder,
+    prompts: Sequence[str],
+    max_new_tokens: int = 96,
+    sampling_temperature: float = 0.8,
+    include_sampling: bool = True,
+    label: str = "",
+) -> CacheComparison:
+    """Measure the same prompt set with and without the KV cache.
+
+    Both decoders must wrap the same model/strategy; the comparison records
+    the wall-clock speedup of incremental decoding and checks that the two
+    paths commit identical token sequences.
+    """
+    cached = measure_speed(
+        cached_decoder,
+        prompts,
+        max_new_tokens=max_new_tokens,
+        sampling_temperature=sampling_temperature,
+        include_sampling=include_sampling,
+        label=f"{label}+cache" if label else "cached",
+        keep_outputs=True,
+    )
+    uncached = measure_speed(
+        uncached_decoder,
+        prompts,
+        max_new_tokens=max_new_tokens,
+        sampling_temperature=sampling_temperature,
+        include_sampling=include_sampling,
+        label=f"{label}-cache" if label else "uncached",
+        keep_outputs=True,
+    )
+    tokens_identical = all(
+        c.token_ids == u.token_ids for c, u in zip(cached.per_output, uncached.per_output)
+    )
+    cached.per_output = []
+    uncached.per_output = []
+    return CacheComparison(cached=cached, uncached=uncached, tokens_identical=tokens_identical)

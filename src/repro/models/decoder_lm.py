@@ -15,6 +15,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro.nn.kv_cache import KVCache
 from repro.nn.transformer import DecoderOnlyTransformer
 
 
@@ -54,10 +55,23 @@ class TinyCodeLlama:
     def max_seq_len(self) -> int:
         return self.config.max_seq_len
 
-    def hidden_states(self, input_ids: np.ndarray, encoder_ids: Optional[np.ndarray] = None) -> np.ndarray:
-        """Return last hidden states for ``input_ids`` (encoder_ids is unused)."""
+    def hidden_states(
+        self,
+        input_ids: np.ndarray,
+        encoder_ids: Optional[np.ndarray] = None,
+        cache: Optional[KVCache] = None,
+    ) -> np.ndarray:
+        """Return last hidden states for ``input_ids`` (encoder_ids is unused).
+
+        With ``cache``, ``input_ids`` extend the cached prefix (incremental
+        decoding).
+        """
         del encoder_ids
-        return self.transformer.forward(np.asarray(input_ids, dtype=np.int64))
+        return self.transformer.forward(np.asarray(input_ids, dtype=np.int64), cache=cache)
+
+    def make_cache(self, batch: int = 1) -> KVCache:
+        """Create an empty per-layer KV cache for incremental decoding."""
+        return self.transformer.make_cache(batch=batch)
 
     def backward(self, grad_hidden: np.ndarray) -> None:
         """Backpropagate a gradient arriving at the hidden states."""

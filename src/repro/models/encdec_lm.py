@@ -13,6 +13,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro.nn.kv_cache import KVCache
 from repro.nn.transformer import EncoderDecoderTransformer
 
 
@@ -58,15 +59,26 @@ class TinyCodeT5p:
         """Run (and cache) the encoder over the prompt ids."""
         return self.transformer.encode(np.asarray(encoder_ids, dtype=np.int64))
 
-    def hidden_states(self, input_ids: np.ndarray, encoder_ids: Optional[np.ndarray] = None) -> np.ndarray:
+    def hidden_states(
+        self,
+        input_ids: np.ndarray,
+        encoder_ids: Optional[np.ndarray] = None,
+        cache: Optional[KVCache] = None,
+    ) -> np.ndarray:
         """Return decoder hidden states for ``input_ids`` given the prompt.
 
         ``encoder_ids`` re-runs the encoder; when omitted, the memory cached by
         the last :meth:`encode` call is reused (the generation loop encodes the
-        prompt once and then decodes incrementally).
+        prompt once and then decodes incrementally).  With ``cache``,
+        ``input_ids`` extend the cached decoder prefix and the cross-attention
+        projections of the encoder memory are computed only once.
         """
         encoder = None if encoder_ids is None else np.asarray(encoder_ids, dtype=np.int64)
-        return self.transformer.forward(np.asarray(input_ids, dtype=np.int64), encoder)
+        return self.transformer.forward(np.asarray(input_ids, dtype=np.int64), encoder, cache=cache)
+
+    def make_cache(self, batch: int = 1) -> KVCache:
+        """Create an empty per-layer KV cache for incremental decoding."""
+        return self.transformer.make_cache(batch=batch)
 
     def backward(self, grad_hidden: np.ndarray) -> None:
         """Backpropagate a gradient arriving at the decoder hidden states."""

@@ -22,6 +22,7 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.nn.kv_cache import KVCache
 from repro.nn.layers import Linear, Module
 from repro.nn.functional import gelu, gelu_grad
 
@@ -87,7 +88,10 @@ class MedusaLM(Module):
         return self.backbone.architecture == "encoder-decoder"
 
     def forward(
-        self, input_ids: np.ndarray, encoder_ids: Optional[np.ndarray] = None
+        self,
+        input_ids: np.ndarray,
+        encoder_ids: Optional[np.ndarray] = None,
+        cache: Optional[KVCache] = None,
     ) -> Tuple[np.ndarray, List[np.ndarray]]:
         """Compute base-head and Medusa-head logits.
 
@@ -95,17 +99,23 @@ class MedusaLM(Module):
             input_ids: ``(T,)`` or ``(B, T)`` decoder-side token ids (for
                 decoder-only backbones this is prompt+output concatenated).
             encoder_ids: prompt ids for encoder-decoder backbones.
+            cache: per-layer KV cache; when given, ``input_ids`` extend the
+                cached prefix and logits cover only the new positions.
 
         Returns:
             ``(base_logits, head_logits)`` where ``base_logits`` has shape
             ``(B, T, V)`` and ``head_logits`` is a list of the same shape, one
             per Medusa head.
         """
-        hidden = self.backbone.hidden_states(input_ids, encoder_ids)
+        hidden = self.backbone.hidden_states(input_ids, encoder_ids, cache=cache)
         self._last_hidden = hidden
         base_logits = self.base_head.forward(hidden)
         head_logits = [head.forward(hidden) for head in self.medusa_heads]
         return base_logits, head_logits
+
+    def new_cache(self, batch: int = 1) -> KVCache:
+        """Create an empty KV cache for incremental decoding with this model."""
+        return self.backbone.make_cache(batch=batch)
 
     def backward(self, grad_base: np.ndarray, grad_heads: Sequence[np.ndarray]) -> None:
         """Backpropagate per-head logit gradients into the backbone."""

@@ -16,6 +16,7 @@ from repro.nn.functional import (
     gelu,
     gelu_grad,
 )
+from repro.nn.kv_cache import KVCache, LayerKVCache
 from repro.nn.layers import Parameter, Module, Linear, Embedding, LayerNorm, CausalSelfAttention, FeedForward
 from repro.nn.transformer import TransformerBlock, DecoderOnlyTransformer, EncoderDecoderTransformer
 from repro.nn.optim import AdamW, WarmupCosineSchedule
@@ -35,6 +36,8 @@ __all__ = [
     "LayerNorm",
     "CausalSelfAttention",
     "FeedForward",
+    "KVCache",
+    "LayerKVCache",
     "TransformerBlock",
     "DecoderOnlyTransformer",
     "EncoderDecoderTransformer",

@@ -1,0 +1,152 @@
+"""Per-layer attention key/value cache for incremental decoding.
+
+Re-running the full transformer forward over the entire prefix at every
+decoding step costs O(T^2) work per generated token.  The standard serving
+trick — and the enabling refactor for the paper's wall-clock speed claims —
+is to cache each attention layer's key/value projections for the committed
+prefix, so each step only projects the *new* tokens and attends over the
+cached keys.
+
+:class:`KVCache` owns one :class:`LayerKVCache` per transformer layer and
+supports the three operations speculative decoding needs beyond plain
+appending:
+
+* ``truncate(length)`` — roll the cache back to a committed prefix after
+  typical-acceptance and fragment-integrity truncation, so rejected
+  speculative tokens never pollute subsequent steps;
+* ``expand_batch(n)`` — tile a batch-1 cache to ``n`` rows so all candidate
+  continuations are verified in one batched cached forward;
+* ``keep_row(row)`` — collapse back to the accepted candidate's row.
+
+Cross-attention K/V (encoder-decoder models) is position-independent on the
+decoder side, so each layer slot can additionally hold the projected encoder
+memory, computed once at prefill and reused for every decode step.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+
+class LayerKVCache:
+    """K/V storage for one attention layer.
+
+    Self-attention keys/values are stored pre-split by head with shape
+    ``(batch, num_heads, capacity, head_dim)`` and filled in place up to
+    ``length``.  Cross-attention keys/values (optional) are stored whole,
+    since the encoder memory never grows.
+    """
+
+    def __init__(self, batch: int, num_heads: int, capacity: int, head_dim: int) -> None:
+        self.capacity = capacity
+        self.length = 0
+        self.k = np.zeros((batch, num_heads, capacity, head_dim), dtype=np.float32)
+        self.v = np.zeros((batch, num_heads, capacity, head_dim), dtype=np.float32)
+        self.cross_k: Optional[np.ndarray] = None
+        self.cross_v: Optional[np.ndarray] = None
+
+    @property
+    def batch(self) -> int:
+        return self.k.shape[0]
+
+    def append(self, k_new: np.ndarray, v_new: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Store ``(batch, heads, t, head_dim)`` projections; return the full prefix views."""
+        t = k_new.shape[2]
+        if self.length + t > self.capacity:
+            raise ValueError(f"KV cache overflow: {self.length} + {t} > capacity {self.capacity}")
+        if k_new.shape[0] != self.batch:
+            raise ValueError(f"batch mismatch: cache has {self.batch} rows, got {k_new.shape[0]}")
+        self.k[:, :, self.length : self.length + t] = k_new
+        self.v[:, :, self.length : self.length + t] = v_new
+        self.length += t
+        return self.k[:, :, : self.length], self.v[:, :, : self.length]
+
+    def set_cross(self, k: np.ndarray, v: np.ndarray) -> None:
+        self.cross_k = k
+        self.cross_v = v
+
+    @property
+    def has_cross(self) -> bool:
+        return self.cross_k is not None
+
+
+class KVCache:
+    """Per-layer K/V cache threaded through a transformer's attention blocks."""
+
+    def __init__(self, num_layers: int, num_heads: int, head_dim: int, capacity: int, batch: int = 1) -> None:
+        self.num_heads = num_heads
+        self.head_dim = head_dim
+        self.capacity = capacity
+        self.layers: List[LayerKVCache] = [
+            LayerKVCache(batch, num_heads, capacity, head_dim) for _ in range(num_layers)
+        ]
+
+    # -- inspection ----------------------------------------------------------
+
+    @property
+    def length(self) -> int:
+        """Number of cached positions (identical across layers)."""
+        return self.layers[0].length
+
+    @property
+    def batch(self) -> int:
+        return self.layers[0].batch
+
+    @property
+    def num_layers(self) -> int:
+        return len(self.layers)
+
+    # -- speculative-decoding operations -------------------------------------
+
+    def truncate(self, length: int) -> None:
+        """Roll every layer back to ``length`` cached positions.
+
+        Used after candidate verification to discard the K/V of speculated
+        tokens that typical acceptance or the fragment-integrity check
+        rejected.  Truncating beyond the current length is a no-op.
+        """
+        if length < 0:
+            raise ValueError(f"cannot truncate to negative length {length}")
+        for layer in self.layers:
+            layer.length = min(layer.length, length)
+
+    @staticmethod
+    def _retile(source: np.ndarray, rows: int, length: int) -> np.ndarray:
+        """Fresh ``rows``-batch capacity buffer holding ``source``'s first ``length`` positions.
+
+        Copying only the filled prefix keeps per-step cache management O(prefix)
+        rather than O(capacity).
+        """
+        out = np.empty((rows,) + source.shape[1:], dtype=source.dtype)
+        out[:, :, :length] = source[:, :, :length]
+        return out
+
+    def expand_batch(self, n: int) -> None:
+        """Tile a batch-1 cache to ``n`` identical rows (for batched verification)."""
+        if n == self.batch:
+            return
+        if self.batch != 1:
+            raise ValueError(f"expand_batch requires a batch-1 cache, got batch {self.batch}")
+        for layer in self.layers:
+            layer.k = self._retile(layer.k, n, layer.length)
+            layer.v = self._retile(layer.v, n, layer.length)
+            if layer.has_cross:
+                layer.cross_k = np.repeat(layer.cross_k, n, axis=0)
+                layer.cross_v = np.repeat(layer.cross_v, n, axis=0)
+
+    def keep_row(self, row: int) -> None:
+        """Collapse an expanded cache back to a single batch row.
+
+        The copy detaches the kept row from the expanded arrays so the
+        discarded candidates' storage can be freed.
+        """
+        if not 0 <= row < self.batch:
+            raise IndexError(f"row {row} out of range for batch {self.batch}")
+        for layer in self.layers:
+            layer.k = self._retile(layer.k[row : row + 1], 1, layer.length)
+            layer.v = self._retile(layer.v[row : row + 1], 1, layer.length)
+            if layer.has_cross:
+                layer.cross_k = layer.cross_k[row : row + 1].copy()
+                layer.cross_v = layer.cross_v[row : row + 1].copy()

@@ -14,7 +14,7 @@ Shapes follow the convention ``(batch, time, dim)`` for activations and
 
 from __future__ import annotations
 
-from typing import Iterator, List, Optional, Tuple
+from typing import Iterator, Optional, Tuple
 
 import numpy as np
 
@@ -175,7 +175,10 @@ class CausalSelfAttention(Module):
         self.proj = Linear(dim, dim, rng, name=f"{name}.proj")
         self._cache = None
 
-    def forward(self, x: np.ndarray) -> np.ndarray:
+    def forward(self, x: np.ndarray, layer_cache=None) -> np.ndarray:
+        """Attend over ``x``; with ``layer_cache`` (a :class:`~repro.nn.kv_cache.LayerKVCache`),
+        append the new keys/values and attend over the full cached prefix
+        (incremental decoding — no backward pass is recorded in this mode)."""
         batch, time, dim = x.shape
         qkv = self.qkv.forward(x)
         q, k, v = np.split(qkv, 3, axis=-1)
@@ -184,15 +187,24 @@ class CausalSelfAttention(Module):
             return tensor.reshape(batch, time, self.num_heads, self.head_dim).transpose(0, 2, 1, 3)
 
         qh, kh, vh = split_heads(q), split_heads(k), split_heads(v)
+        if layer_cache is not None:
+            past = layer_cache.length
+            kh, vh = layer_cache.append(kh, vh)
+        else:
+            past = 0
         scores = qh @ kh.transpose(0, 1, 3, 2) / np.sqrt(self.head_dim)
         if self.causal:
-            mask = np.triu(np.ones((time, time), dtype=bool), k=1)
+            # Query i sits at absolute position past + i and may attend to keys 0..past+i.
+            key_positions = np.arange(past + time)
+            query_positions = past + np.arange(time)
+            mask = key_positions[None, :] > query_positions[:, None]
             scores = np.where(mask, -1e9, scores)
         weights = softmax(scores, axis=-1)
         context = weights @ vh
         merged = context.transpose(0, 2, 1, 3).reshape(batch, time, dim)
         out = self.proj.forward(merged)
-        self._cache = (qh, kh, vh, weights, batch, time)
+        if layer_cache is None:
+            self._cache = (qh, kh, vh, weights, batch, time)
         return out
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
@@ -232,25 +244,44 @@ class CrossAttention(Module):
         self.out_proj = Linear(dim, dim, rng, name=f"{name}.out")
         self._cache = None
 
-    def forward(self, x: np.ndarray, memory: np.ndarray) -> np.ndarray:
+    def forward(self, x: np.ndarray, memory: Optional[np.ndarray], layer_cache=None) -> np.ndarray:
+        """Cross-attend ``x`` over ``memory``.
+
+        With ``layer_cache``, the projected encoder keys/values are computed
+        once and reused for every subsequent decode step (``memory`` may be
+        ``None`` once the cross K/V is cached; no backward pass is recorded in
+        this mode).
+        """
         batch, time, dim = x.shape
-        mem_time = memory.shape[1]
         q = self.q_proj.forward(x)
-        kv = self.kv_proj.forward(memory)
-        k, v = np.split(kv, 2, axis=-1)
 
         def split_heads(tensor: np.ndarray, length: int) -> np.ndarray:
-            return tensor.reshape(batch, length, self.num_heads, self.head_dim).transpose(0, 2, 1, 3)
+            return tensor.reshape(tensor.shape[0], length, self.num_heads, self.head_dim).transpose(0, 2, 1, 3)
 
         qh = split_heads(q, time)
-        kh = split_heads(k, mem_time)
-        vh = split_heads(v, mem_time)
+        if layer_cache is not None and layer_cache.has_cross:
+            kh, vh = layer_cache.cross_k, layer_cache.cross_v
+            mem_time = kh.shape[2]
+        else:
+            if memory is None:
+                raise ValueError("cross-attention needs `memory` until the cross K/V is cached")
+            mem_time = memory.shape[1]
+            kv = self.kv_proj.forward(memory)
+            k, v = np.split(kv, 2, axis=-1)
+            kh = split_heads(k, mem_time)
+            vh = split_heads(v, mem_time)
+            if layer_cache is not None:
+                if kh.shape[0] != batch:
+                    kh = np.repeat(kh, batch // kh.shape[0], axis=0)
+                    vh = np.repeat(vh, batch // vh.shape[0], axis=0)
+                layer_cache.set_cross(kh, vh)
         scores = qh @ kh.transpose(0, 1, 3, 2) / np.sqrt(self.head_dim)
         weights = softmax(scores, axis=-1)
         context = weights @ vh
         merged = context.transpose(0, 2, 1, 3).reshape(batch, time, dim)
         out = self.out_proj.forward(merged)
-        self._cache = (qh, kh, vh, weights, batch, time, mem_time)
+        if layer_cache is None:
+            self._cache = (qh, kh, vh, weights, batch, time, mem_time)
         return out
 
     def backward(self, grad_output: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:

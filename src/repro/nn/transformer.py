@@ -20,15 +20,14 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
+from repro.nn.kv_cache import KVCache
 from repro.nn.layers import (
     CausalSelfAttention,
     CrossAttention,
     Embedding,
     FeedForward,
     LayerNorm,
-    Linear,
     Module,
-    Parameter,
 )
 
 
@@ -41,8 +40,8 @@ class TransformerBlock(Module):
         self.ln2 = LayerNorm(dim, name=f"{name}.ln2")
         self.mlp = FeedForward(dim, 4 * dim, rng, name=f"{name}.mlp")
 
-    def forward(self, x: np.ndarray) -> np.ndarray:
-        x = x + self.attn.forward(self.ln1.forward(x))
+    def forward(self, x: np.ndarray, layer_cache=None) -> np.ndarray:
+        x = x + self.attn.forward(self.ln1.forward(x), layer_cache=layer_cache)
         x = x + self.mlp.forward(self.ln2.forward(x))
         return x
 
@@ -65,9 +64,9 @@ class CrossTransformerBlock(Module):
         self.mlp = FeedForward(dim, 4 * dim, rng, name=f"{name}.mlp")
         self._memory_grad: Optional[np.ndarray] = None
 
-    def forward(self, x: np.ndarray, memory: np.ndarray) -> np.ndarray:
-        x = x + self.self_attn.forward(self.ln1.forward(x))
-        x = x + self.cross_attn.forward(self.ln2.forward(x), memory)
+    def forward(self, x: np.ndarray, memory: Optional[np.ndarray], layer_cache=None) -> np.ndarray:
+        x = x + self.self_attn.forward(self.ln1.forward(x), layer_cache=layer_cache)
+        x = x + self.cross_attn.forward(self.ln2.forward(x), memory, layer_cache=layer_cache)
         x = x + self.mlp.forward(self.ln3.forward(x))
         return x
 
@@ -104,18 +103,37 @@ class DecoderOnlyTransformer(Module):
         ]
         self.final_norm = LayerNorm(dim, name="final_ln")
 
-    def forward(self, token_ids: np.ndarray) -> np.ndarray:
-        """Return hidden states of shape ``(batch, time, dim)``."""
+    def forward(self, token_ids: np.ndarray, cache: Optional[KVCache] = None) -> np.ndarray:
+        """Return hidden states of shape ``(batch, time, dim)``.
+
+        With ``cache``, ``token_ids`` are treated as the continuation of the
+        cached prefix: positions are offset by ``cache.length`` and attention
+        runs over cached keys/values plus the new tokens (incremental
+        decoding).
+        """
         if token_ids.ndim == 1:
             token_ids = token_ids[None, :]
         batch, time = token_ids.shape
-        if time > self.max_seq_len:
-            raise ValueError(f"sequence length {time} exceeds max_seq_len {self.max_seq_len}")
-        positions = np.broadcast_to(np.arange(time), (batch, time))
+        past = 0 if cache is None else cache.length
+        if past + time > self.max_seq_len:
+            raise ValueError(f"sequence length {past + time} exceeds max_seq_len {self.max_seq_len}")
+        positions = np.broadcast_to(np.arange(past, past + time), (batch, time))
         x = self.token_embedding.forward(token_ids) + self.position_embedding.forward(positions)
-        for block in self.blocks:
-            x = block.forward(x)
+        layer_caches = cache.layers if cache is not None else [None] * len(self.blocks)
+        for block, layer_cache in zip(self.blocks, layer_caches):
+            x = block.forward(x, layer_cache=layer_cache)
         return self.final_norm.forward(x)
+
+    def make_cache(self, batch: int = 1, capacity: Optional[int] = None) -> KVCache:
+        """Create an empty KV cache sized for this transformer."""
+        attn = self.blocks[0].attn
+        return KVCache(
+            num_layers=len(self.blocks),
+            num_heads=attn.num_heads,
+            head_dim=attn.head_dim,
+            capacity=capacity or self.max_seq_len,
+            batch=batch,
+        )
 
     def backward(self, grad_hidden: np.ndarray) -> None:
         grad = self.final_norm.backward(grad_hidden)
@@ -173,30 +191,54 @@ class EncoderDecoderTransformer(Module):
 
     # -- decoder -------------------------------------------------------------
 
-    def forward(self, decoder_ids: np.ndarray, encoder_ids: Optional[np.ndarray] = None) -> np.ndarray:
+    def forward(
+        self,
+        decoder_ids: np.ndarray,
+        encoder_ids: Optional[np.ndarray] = None,
+        cache: Optional[KVCache] = None,
+    ) -> np.ndarray:
         """Return decoder hidden states ``(batch, time, dim)``.
 
         When ``encoder_ids`` is provided the encoder runs first; otherwise the
         memory cached by the most recent :meth:`encode` call is reused (as the
-        generation loop does: encode once, decode incrementally).
+        generation loop does: encode once, decode incrementally).  With
+        ``cache``, decoder self-attention K/V and the per-layer cross-attention
+        projections of the encoder memory are cached, and ``decoder_ids`` are
+        the continuation of the cached prefix.
         """
         if encoder_ids is not None:
             self.encode(encoder_ids)
-        if self._cached_memory is None:
-            raise RuntimeError("encode() must be called before forward() without encoder_ids")
         if decoder_ids.ndim == 1:
             decoder_ids = decoder_ids[None, :]
         batch, time = decoder_ids.shape
-        positions = np.broadcast_to(np.arange(time), (batch, time))
+        past = 0 if cache is None else cache.length
+        if past + time > self.max_seq_len:
+            raise ValueError(f"sequence length {past + time} exceeds max_seq_len {self.max_seq_len}")
+        memory = self._cached_memory
+        cross_ready = cache is not None and all(layer.has_cross for layer in cache.layers)
+        if memory is None and not cross_ready:
+            raise RuntimeError("encode() must be called before forward() without encoder_ids")
+        positions = np.broadcast_to(np.arange(past, past + time), (batch, time))
         x = self.token_embedding.forward(decoder_ids) + self.position_embedding.forward(positions)
         # The decoder embeddings overwrite the encoder's cached activations in
         # the shared embedding layers, so the backward pass re-encodes; we keep
         # the decoder cache here for the standard joint backward.
         self._decoder_ids = decoder_ids
-        memory = self._cached_memory
-        for block in self.decoder_blocks:
-            x = block.forward(x, memory)
+        layer_caches = cache.layers if cache is not None else [None] * len(self.decoder_blocks)
+        for block, layer_cache in zip(self.decoder_blocks, layer_caches):
+            x = block.forward(x, memory, layer_cache=layer_cache)
         return self.final_norm.forward(x)
+
+    def make_cache(self, batch: int = 1, capacity: Optional[int] = None) -> KVCache:
+        """Create an empty KV cache sized for this transformer's decoder stack."""
+        attn = self.decoder_blocks[0].self_attn
+        return KVCache(
+            num_layers=len(self.decoder_blocks),
+            num_heads=attn.num_heads,
+            head_dim=attn.head_dim,
+            capacity=capacity or self.max_seq_len,
+            batch=batch,
+        )
 
     def backward(self, grad_hidden: np.ndarray) -> None:
         grad = self.final_norm.backward(grad_hidden)

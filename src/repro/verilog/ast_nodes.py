@@ -11,7 +11,7 @@ traverse the tree generically.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, fields
-from typing import Iterator, List, Optional, Sequence, Tuple
+from typing import Iterator, List, Optional, Tuple
 
 
 @dataclass

@@ -1,12 +1,10 @@
 """Tests for typical acceptance (eq. 1) and fragment-integrity truncation."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.core.acceptance import TypicalAcceptance
 from repro.core.integrity import ends_at_fragment_boundary, truncate_to_complete_fragment
-from repro.nn.functional import softmax
 
 FRAG = 4
 EOS = 3

@@ -1,0 +1,113 @@
+"""Cached decoding must be token-identical to the full-recompute path.
+
+These are the equivalence guarantees the speed benchmarks rely on: the KV
+cache is an optimisation, not a behaviour change, for all three decoding
+regimes (NTP / Medusa / Ours), under both greedy decoding and temperature
+sampling, on both backbones.
+"""
+
+import pytest
+
+from repro.core.pipeline import PipelineConfig, VerilogSpecPipeline
+from repro.models.generation import GenerationConfig
+
+METHODS = ("ntp", "medusa", "ours")
+
+
+def _configs():
+    return [
+        ("greedy", GenerationConfig.greedy_config(48)),
+        ("sampling", GenerationConfig.sampling_config(0.8, 48, seed=13)),
+    ]
+
+
+def _assert_equivalent(cached, uncached):
+    assert cached.token_ids == uncached.token_ids
+    assert cached.steps == uncached.steps
+    assert cached.stopped_by_eos == uncached.stopped_by_eos
+    cached_records = [(r.proposed, r.accepted, r.committed, r.ends_at_boundary) for r in cached.step_records]
+    uncached_records = [(r.proposed, r.accepted, r.committed, r.ends_at_boundary) for r in uncached.step_records]
+    assert cached_records == uncached_records
+
+
+class TestDecoderOnlyEquivalence:
+    @pytest.mark.parametrize("method", METHODS)
+    @pytest.mark.parametrize("mode", ["greedy", "sampling"])
+    def test_cached_matches_uncached(self, tiny_pipeline, method, mode):
+        prompt = tiny_pipeline.examples[0].prompt_text()
+        config = dict(_configs())[mode]
+        cached = tiny_pipeline.decoder_for(method).generate_from_text(prompt, config)
+        uncached = tiny_pipeline.decoder_for(method, use_cache=False).generate_from_text(prompt, config)
+        _assert_equivalent(cached, uncached)
+
+    def test_equivalence_across_prompts(self, tiny_pipeline):
+        """Rollback after rejected candidates keeps later steps identical too."""
+        config = GenerationConfig.greedy_config(64)
+        for example in tiny_pipeline.examples[:3]:
+            prompt = example.prompt_text()
+            cached = tiny_pipeline.decoder_for("ours").generate_from_text(prompt, config)
+            uncached = tiny_pipeline.decoder_for("ours", use_cache=False).generate_from_text(prompt, config)
+            _assert_equivalent(cached, uncached)
+
+    @pytest.mark.parametrize("method", ["ntp", "ours"])
+    def test_overlong_prompt_returns_empty_like_uncached(self, tiny_pipeline, method):
+        max_len = tiny_pipeline.models[method].backbone.max_seq_len
+        prompt_ids = [5] * max_len
+        config = GenerationConfig.greedy_config(8)
+        cached = tiny_pipeline.decoder_for(method).generate(prompt_ids, config)
+        uncached = tiny_pipeline.decoder_for(method, use_cache=False).generate(prompt_ids, config)
+        assert cached.token_ids == uncached.token_ids == []
+
+    def test_use_cache_flag_recorded(self, tiny_pipeline):
+        assert tiny_pipeline.decoder_for("ours").use_cache is True
+        assert tiny_pipeline.decoder_for("ours", use_cache=False).use_cache is False
+
+    def test_prefill_time_reported_and_excluded(self, tiny_pipeline):
+        prompt = tiny_pipeline.examples[0].prompt_text()
+        result = tiny_pipeline.decoder_for("ntp").generate_from_text(prompt, GenerationConfig.greedy_config(8))
+        assert result.prefill_seconds > 0.0
+        assert result.wall_time_seconds > result.decode_seconds
+        assert result.tokens_per_second == pytest.approx(result.tokens_generated / result.decode_seconds)
+
+    def test_uncached_has_no_prefill_split(self, tiny_pipeline):
+        prompt = tiny_pipeline.examples[0].prompt_text()
+        decoder = tiny_pipeline.decoder_for("ntp", use_cache=False)
+        result = decoder.generate_from_text(prompt, GenerationConfig.greedy_config(8))
+        assert result.prefill_seconds == 0.0
+        assert result.decode_seconds == result.wall_time_seconds
+
+
+class TestEncoderDecoderEquivalence:
+    @pytest.fixture(scope="class")
+    def encdec_pipeline(self) -> VerilogSpecPipeline:
+        config = PipelineConfig(
+            corpus_items=30,
+            vocab_size=400,
+            architecture="encoder-decoder",
+            model_dim=32,
+            num_layers=1,
+            num_attention_heads=2,
+            num_medusa_heads=4,
+            max_seq_len=288,
+            epochs=1,
+            max_train_seq_len=160,
+        )
+        pipeline = VerilogSpecPipeline(config)
+        pipeline.prepare()
+        pipeline.train_all()
+        return pipeline
+
+    @pytest.mark.parametrize("method", METHODS)
+    def test_cached_matches_uncached_greedy(self, encdec_pipeline, method):
+        prompt = encdec_pipeline.examples[0].prompt_text()
+        config = GenerationConfig.greedy_config(40)
+        cached = encdec_pipeline.decoder_for(method).generate_from_text(prompt, config)
+        uncached = encdec_pipeline.decoder_for(method, use_cache=False).generate_from_text(prompt, config)
+        _assert_equivalent(cached, uncached)
+
+    def test_cached_matches_uncached_sampling(self, encdec_pipeline):
+        prompt = encdec_pipeline.examples[0].prompt_text()
+        config = GenerationConfig.sampling_config(0.8, 40, seed=5)
+        cached = encdec_pipeline.decoder_for("ours").generate_from_text(prompt, config)
+        uncached = encdec_pipeline.decoder_for("ours", use_cache=False).generate_from_text(prompt, config)
+        _assert_equivalent(cached, uncached)

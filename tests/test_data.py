@@ -3,8 +3,8 @@
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.data.alpaca import AlpacaExample, build_alpaca_dataset, filter_by_length, subset_fractions
-from repro.data.corpus import CorpusConfig, CorpusItem, SyntheticVerilogCorpus
+from repro.data.alpaca import build_alpaca_dataset, filter_by_length, subset_fractions
+from repro.data.corpus import CorpusConfig, SyntheticVerilogCorpus
 from repro.data.descriptions import describe_design
 from repro.data.minhash import MinHashDeduplicator, estimated_jaccard, jaccard_similarity, minhash_signature
 from repro.data.refinement import (

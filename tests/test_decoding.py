@@ -1,6 +1,5 @@
 """Tests for the speculative decoding loop (integration with the tiny pipeline)."""
 
-import numpy as np
 import pytest
 
 from repro.core.decoding import DecodingStrategy, SpeculativeDecoder, StepRecord

@@ -1,6 +1,5 @@
 """Tests for the evaluation benchmarks and metrics."""
 
-import math
 
 import pytest
 from hypothesis import given, settings, strategies as st
@@ -8,7 +7,7 @@ from hypothesis import given, settings, strategies as st
 from repro.evalbench.designs import adder, counter, data_register, mux2
 from repro.evalbench.functional import check_design_functional
 from repro.evalbench.passk import pass_at_k, pass_at_k_from_counts, pass_at_k_single, pass_rate
-from repro.evalbench.problems import Problem, ProblemSuite
+from repro.evalbench.problems import Problem
 from repro.evalbench.rtllm import rtllm_suite
 from repro.evalbench.syntax_eval import check_design_compiles
 from repro.evalbench.vgen import vgen_suite

@@ -1,0 +1,177 @@
+"""Tests for the per-layer KV cache and incremental-forward equivalence."""
+
+import numpy as np
+import pytest
+
+from repro.models.decoder_lm import DecoderConfig, TinyCodeLlama
+from repro.models.encdec_lm import EncDecConfig, TinyCodeT5p
+from repro.models.medusa import MedusaLM
+from repro.nn.kv_cache import KVCache
+
+ATOL = 1e-5
+
+
+@pytest.fixture(scope="module")
+def decoder_lm() -> MedusaLM:
+    backbone = TinyCodeLlama(
+        DecoderConfig(vocab_size=64, dim=32, num_layers=2, num_heads=4, max_seq_len=96, seed=3)
+    )
+    return MedusaLM(backbone, vocab_size=64, num_medusa_heads=3, seed=3)
+
+
+@pytest.fixture(scope="module")
+def encdec_lm() -> MedusaLM:
+    backbone = TinyCodeT5p(
+        EncDecConfig(
+            vocab_size=64, dim=32, num_encoder_layers=2, num_decoder_layers=2, num_heads=4, max_seq_len=96, seed=4
+        )
+    )
+    return MedusaLM(backbone, vocab_size=64, num_medusa_heads=2, seed=4)
+
+
+class TestKVCacheOps:
+    def _cache(self, batch=1) -> KVCache:
+        return KVCache(num_layers=2, num_heads=4, head_dim=8, capacity=16, batch=batch)
+
+    def test_append_grows_length(self):
+        cache = self._cache()
+        k = np.ones((1, 4, 3, 8), dtype=np.float32)
+        full_k, full_v = cache.layers[0].append(k, 2 * k)
+        assert cache.layers[0].length == 3
+        assert full_k.shape == (1, 4, 3, 8)
+        assert np.all(full_v == 2.0)
+
+    def test_append_overflow_raises(self):
+        cache = self._cache()
+        k = np.zeros((1, 4, 17, 8), dtype=np.float32)
+        with pytest.raises(ValueError, match="overflow"):
+            cache.layers[0].append(k, k)
+
+    def test_append_batch_mismatch_raises(self):
+        cache = self._cache()
+        k = np.zeros((2, 4, 1, 8), dtype=np.float32)
+        with pytest.raises(ValueError, match="batch"):
+            cache.layers[0].append(k, k)
+
+    def test_truncate_rolls_back_every_layer(self):
+        cache = self._cache()
+        k = np.zeros((1, 4, 5, 8), dtype=np.float32)
+        for layer in cache.layers:
+            layer.append(k, k)
+        cache.truncate(2)
+        assert all(layer.length == 2 for layer in cache.layers)
+        cache.truncate(10)  # beyond current length: no-op
+        assert cache.length == 2
+        with pytest.raises(ValueError):
+            cache.truncate(-1)
+
+    def test_expand_batch_tiles_rows(self):
+        cache = self._cache()
+        k = np.arange(1 * 4 * 2 * 8, dtype=np.float32).reshape(1, 4, 2, 8)
+        cache.layers[0].append(k, k)
+        cache.layers[1].append(k, k)
+        cache.expand_batch(3)
+        assert cache.batch == 3
+        # Only the filled prefix is defined; capacity tails stay uninitialised.
+        assert np.array_equal(cache.layers[0].k[0, :, :2], k[0])
+        assert np.array_equal(cache.layers[0].k[2, :, :2], k[0])
+        with pytest.raises(ValueError, match="batch-1"):
+            cache.expand_batch(5)
+
+    def test_keep_row_collapses_batch(self):
+        cache = self._cache()
+        k = np.zeros((1, 4, 1, 8), dtype=np.float32)
+        for layer in cache.layers:
+            layer.append(k, k)
+        cache.expand_batch(3)
+        marker = np.full((3, 4, 2, 8), 7.0, dtype=np.float32)
+        marker[1] = 9.0
+        for layer in cache.layers:
+            layer.append(marker, marker)
+        cache.keep_row(1)
+        assert cache.batch == 1
+        assert np.all(cache.layers[0].k[0, :, 1:3] == 9.0)
+        with pytest.raises(IndexError):
+            cache.keep_row(4)
+
+
+class TestIncrementalEquivalence:
+    """Cached incremental logits must equal full-recompute logits."""
+
+    def test_decoder_only_prefill_then_steps(self, decoder_lm):
+        ids = np.arange(1, 25) % 64
+        full_base, full_heads = decoder_lm.forward(ids)
+        cache = decoder_lm.new_cache()
+        part_base, _ = decoder_lm.forward(ids[:10], cache=cache)
+        np.testing.assert_allclose(part_base, full_base[:, :10], atol=ATOL)
+        # Feed the rest one token at a time.
+        for t in range(10, len(ids)):
+            step_base, step_heads = decoder_lm.forward(ids[t : t + 1], cache=cache)
+            np.testing.assert_allclose(step_base[0, 0], full_base[0, t], atol=ATOL)
+            for head_full, head_step in zip(full_heads, step_heads):
+                np.testing.assert_allclose(head_step[0, 0], head_full[0, t], atol=ATOL)
+        assert cache.length == len(ids)
+
+    def test_encoder_decoder_prefill_then_steps(self, encdec_lm):
+        enc_ids = np.arange(2, 14) % 64
+        dec_ids = np.arange(5, 23) % 64
+        full_base, full_heads = encdec_lm.forward(dec_ids, enc_ids)
+        encdec_lm.encode_prompt(enc_ids)
+        cache = encdec_lm.new_cache()
+        part_base, _ = encdec_lm.forward(dec_ids[:6], cache=cache)
+        np.testing.assert_allclose(part_base, full_base[:, :6], atol=ATOL)
+        for t in range(6, len(dec_ids)):
+            step_base, step_heads = encdec_lm.forward(dec_ids[t : t + 1], cache=cache)
+            np.testing.assert_allclose(step_base[0, 0], full_base[0, t], atol=ATOL)
+            for head_full, head_step in zip(full_heads, step_heads):
+                np.testing.assert_allclose(head_step[0, 0], head_full[0, t], atol=ATOL)
+
+    def test_rollback_after_rejected_tokens(self, decoder_lm):
+        """Junk appended then truncated away must not perturb later logits."""
+        ids = np.arange(3, 33) % 64
+        full_base, _ = decoder_lm.forward(ids)
+        cache = decoder_lm.new_cache()
+        decoder_lm.forward(ids[:12], cache=cache)
+        # Speculate six wrong tokens, then roll back.
+        junk = (ids[12:18] + 17) % 64
+        decoder_lm.forward(junk, cache=cache)
+        cache.truncate(12)
+        resumed_base, _ = decoder_lm.forward(ids[12:], cache=cache)
+        np.testing.assert_allclose(resumed_base, full_base[:, 12:], atol=ATOL)
+
+    def test_batched_verification_roundtrip(self, decoder_lm):
+        """expand_batch -> batched verify -> keep_row -> truncate matches full recompute."""
+        ids = np.arange(7, 27) % 64
+        full_base, _ = decoder_lm.forward(ids)
+        cache = decoder_lm.new_cache()
+        decoder_lm.forward(ids[:14], cache=cache)
+        # Three candidate continuations; row 1 is the "accepted" true one.
+        true_tail = ids[14:18]
+        rows = np.stack([(true_tail + 5) % 64, true_tail, (true_tail + 9) % 64])
+        cache.expand_batch(3)
+        batch_base, _ = decoder_lm.forward(rows, cache=cache)
+        np.testing.assert_allclose(batch_base[1], full_base[0, 14:18], atol=ATOL)
+        # Accept only the first two tokens of row 1.
+        cache.keep_row(1)
+        cache.truncate(16)
+        resumed, _ = decoder_lm.forward(ids[16:], cache=cache)
+        np.testing.assert_allclose(resumed, full_base[:, 16:], atol=ATOL)
+
+    def test_cross_attention_cached_once(self, encdec_lm):
+        """After prefill the cross K/V is cached and memory is not re-projected."""
+        enc_ids = np.arange(1, 9) % 64
+        encdec_lm.encode_prompt(enc_ids)
+        cache = encdec_lm.new_cache()
+        encdec_lm.forward(np.asarray([1]), cache=cache)
+        assert all(layer.has_cross for layer in cache.layers)
+        # Wipe the transformer's memory: cached cross K/V must be sufficient.
+        encdec_lm.backbone.transformer._cached_memory = None
+        base, _ = encdec_lm.forward(np.asarray([2]), cache=cache)
+        assert base.shape[1] == 1
+
+    def test_max_seq_len_still_enforced(self, decoder_lm):
+        cache = decoder_lm.new_cache()
+        max_len = decoder_lm.backbone.max_seq_len
+        decoder_lm.forward(np.zeros(max_len, dtype=np.int64), cache=cache)
+        with pytest.raises(ValueError, match="exceeds max_seq_len"):
+            decoder_lm.forward(np.zeros(1, dtype=np.int64), cache=cache)

@@ -1,7 +1,6 @@
 """Tests for syntax-enriched label construction (paper Fig. 4)."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.core.labels import (

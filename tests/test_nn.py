@@ -2,7 +2,7 @@
 
 import numpy as np
 import pytest
-from hypothesis import given, settings, strategies as st
+from hypothesis import given, strategies as st
 
 from repro.nn.functional import (
     cross_entropy,
@@ -15,7 +15,7 @@ from repro.nn.functional import (
 )
 from repro.nn.layers import CausalSelfAttention, Embedding, FeedForward, LayerNorm, Linear, Parameter
 from repro.nn.optim import AdamW, WarmupCosineSchedule
-from repro.nn.transformer import DecoderOnlyTransformer, EncoderDecoderTransformer, TransformerBlock
+from repro.nn.transformer import DecoderOnlyTransformer, EncoderDecoderTransformer
 
 
 RNG = np.random.default_rng(0)

@@ -1,11 +1,10 @@
 """Integration tests: the full pipeline, speed measurement and the quality runner."""
 
-import numpy as np
 import pytest
 
 from repro.core.decoding import DecodingStrategy
 from repro.core.pipeline import METHOD_STRATEGIES, PipelineConfig, VerilogSpecPipeline
-from repro.evalbench.problems import Problem, ProblemSuite
+from repro.evalbench.problems import ProblemSuite
 from repro.evalbench.rtllm import rtllm_suite
 from repro.evalbench.runner import EvaluationRunner
 from repro.evalbench.speed import measure_speed, speedup

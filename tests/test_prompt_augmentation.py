@@ -1,6 +1,5 @@
 """Tests for the speed-prompt augmentation (GPT-4 prompt-set substitute)."""
 
-import pytest
 
 from repro.data.prompt_augmentation import augmented_prompts, build_speed_prompt_set
 from repro.evalbench.rtllm import rtllm_suite

@@ -4,7 +4,7 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.tokenizer.bpe import BPETokenizer
-from repro.tokenizer.vocab import SpecialTokens, Vocabulary
+from repro.tokenizer.vocab import Vocabulary
 from repro.verilog.fragments import FRAG, insert_frag_markers
 
 

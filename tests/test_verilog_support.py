@@ -1,6 +1,5 @@
 """Tests for syntax checking, significant-token extraction and fragments."""
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.verilog.fragments import (
