@@ -1,0 +1,115 @@
+"""Serving throughput — continuous batching vs. sequential decoding.
+
+Not a paper table: this bench tracks the serving tentpole.  Eight concurrent
+requests are run through the :class:`~repro.serving.ServingEngine` (one
+shared batched forward per step, FCFS admission under a token budget) and
+compared against decoding the same prompts one after another with
+:meth:`SpeculativeDecoder.generate`.
+
+Reported per method (NTP / Medusa / Ours):
+
+* requests/sec and tokens/sec for both modes, and their ratio;
+* p50/p95 submission-to-completion latency.  Sequential requests queue
+  behind each other (FCFS), so tail latency is where batching pays most.
+
+Assertions:
+
+* engine outputs are **token-identical** to sequential generate for every
+  method — continuous batching is an optimisation, not a behaviour change;
+* NTP serving is at least 2x sequential requests/sec (single-token steps
+  leave the most Python/dispatch overhead for batching to amortise);
+* the speculative methods (already batched across candidates within one
+  request) still come out ahead — typically 1.2-1.9x, asserted >= 1.05x as a
+  noise-tolerant regression floor.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.evalbench.throughput import compare_serving_modes
+from repro.models.generation import GenerationConfig
+from repro.serving import SchedulerConfig
+
+from conftest import SMOKE, emit_bench_json
+
+#: Concurrent requests per run (the acceptance criterion's batch size).
+NUM_REQUESTS = 8
+
+
+def _throughput_prompts(pipeline, rtllm_subset, vgen_subset, count):
+    prompts = [p.prompt for p in rtllm_subset] + [p.prompt for p in vgen_subset]
+    prompts += [e.prompt_text() for e in pipeline.examples]
+    if len(prompts) < count:
+        prompts = (prompts * (count // max(len(prompts), 1) + 1))
+    return prompts[:count]
+
+
+@pytest.mark.benchmark(group="serving-throughput")
+def test_serving_throughput(benchmark, trained_pipeline, rtllm_subset, vgen_subset):
+    """Continuous batching at 8 concurrent requests vs. the sequential baseline."""
+    prompts = _throughput_prompts(trained_pipeline, rtllm_subset, vgen_subset, NUM_REQUESTS)
+    max_new_tokens = 32 if SMOKE else 64
+    config = GenerationConfig.greedy_config(max_new_tokens)
+    scheduler_config = SchedulerConfig(max_active_requests=NUM_REQUESTS)
+
+    comparisons = {}
+    for method in ("ours", "medusa", "ntp"):
+        comparisons[method] = compare_serving_modes(
+            trained_pipeline.engine_for(method, scheduler_config=scheduler_config),
+            trained_pipeline.decoder_for(method),
+            prompts,
+            config,
+            label=method,
+        )
+
+    print(f"\n=== Serving throughput ({NUM_REQUESTS} concurrent requests, greedy) ===")
+    header = (
+        f"{'method':<8} {'serve req/s':>12} {'seq req/s':>10} {'speedup':>8} "
+        f"{'serve tok/s':>12} {'p95 serve':>10} {'p95 seq':>9} {'identical':>10}"
+    )
+    print(header)
+    print("-" * len(header))
+    for method, comparison in comparisons.items():
+        print(
+            f"{method:<8} {comparison.serving.requests_per_second:>12.1f} "
+            f"{comparison.sequential.requests_per_second:>10.1f} "
+            f"{comparison.throughput_speedup:>8.2f} "
+            f"{comparison.serving.tokens_per_second:>12.0f} "
+            f"{comparison.serving.p95_latency:>10.3f} {comparison.sequential.p95_latency:>9.3f} "
+            f"{str(comparison.tokens_identical):>10}"
+        )
+
+    emit_bench_json(
+        "throughput",
+        {
+            "num_requests": NUM_REQUESTS,
+            "max_new_tokens": max_new_tokens,
+            "methods": {method: comparison.to_dict() for method, comparison in comparisons.items()},
+        },
+    )
+
+    # Timed kernel: one full engine run over the prompt set ("ours").
+    def serve_once():
+        engine = trained_pipeline.engine_for("ours", scheduler_config=scheduler_config)
+        for prompt in prompts:
+            engine.submit_text(prompt, config)
+        return engine.run()
+
+    benchmark.pedantic(serve_once, rounds=1, iterations=1)
+
+    # Continuous batching must not change behaviour.
+    assert all(comparison.tokens_identical for comparison in comparisons.values())
+    if not SMOKE:
+        # The headline: batched NTP serving clears 2x requests/sec.  The
+        # speculative methods already amortise Python overhead across their
+        # candidate batch within a single request, so their serving win is
+        # structurally smaller (typically 1.2-1.9x here); the floor below is
+        # a regression guard with headroom for timer noise on short runs.
+        assert comparisons["ntp"].throughput_speedup >= 2.0, (
+            f"ntp serving only {comparisons['ntp'].throughput_speedup:.2f}x sequential"
+        )
+        for method in ("ours", "medusa"):
+            assert comparisons[method].throughput_speedup >= 1.05, (
+                f"{method} serving only {comparisons[method].throughput_speedup:.2f}x sequential"
+            )

@@ -1,0 +1,160 @@
+#!/usr/bin/env python
+"""Dependency-free docs validator (the CI docs job).
+
+mkdocs is not part of the dev environment, so CI validates the docs tree with
+this checker instead of ``mkdocs build --strict``. It enforces the subset of
+strict-mode guarantees the docs actually rely on:
+
+* every page listed in ``mkdocs.yml``'s nav exists (and vice versa: every
+  markdown file under ``docs/`` is reachable from the nav);
+* every page starts with a single H1;
+* fenced code blocks are balanced;
+* relative markdown links resolve — to an existing docs page/file, and when
+  an anchor is given (``page.md#section``), to a real heading on that page;
+* repository-relative links out of ``docs/`` (e.g. ``benchmarks/results/``)
+  resolve to files or directories that exist.
+
+Exits non-zero with a list of problems; prints a summary otherwise.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+DOCS = REPO / "docs"
+MKDOCS = REPO / "mkdocs.yml"
+
+LINK_RE = re.compile(r"(?<!\!)\[[^\]]*\]\(([^)\s]+)\)")
+HEADING_RE = re.compile(r"^(#{1,6})\s+(.*)$")
+
+
+def slugify(heading: str) -> str:
+    """Approximate the mkdocs/GitHub anchor id for a heading."""
+    text = re.sub(r"[`*_]", "", heading.strip().lower())
+    text = re.sub(r"[^\w\s-]", "", text)
+    return re.sub(r"[\s]+", "-", text).strip("-")
+
+
+def nav_pages() -> list[str]:
+    """Markdown paths referenced from mkdocs.yml's nav (no yaml dependency)."""
+    pages: list[str] = []
+    in_nav = False
+    for line in MKDOCS.read_text().splitlines():
+        if line.startswith("nav:"):
+            in_nav = True
+            continue
+        if in_nav:
+            if line.strip() and not line.startswith((" ", "-", "\t")):
+                break
+            match = re.search(r":\s*([\w./-]+\.md)\s*$", line)
+            if match:
+                pages.append(match.group(1))
+    return pages
+
+
+def check() -> list[str]:
+    problems: list[str] = []
+    doc_files = sorted(DOCS.glob("**/*.md"))
+    if not doc_files:
+        return ["docs/ contains no markdown files"]
+
+    # Nav completeness (both directions).
+    nav = nav_pages()
+    if not nav:
+        problems.append("mkdocs.yml: no nav pages found")
+    for page in nav:
+        if not (DOCS / page).is_file():
+            problems.append(f"mkdocs.yml: nav references missing page {page}")
+    nav_set = set(nav)
+    for path in doc_files:
+        rel = path.relative_to(DOCS).as_posix()
+        if rel not in nav_set:
+            problems.append(f"docs/{rel}: not listed in mkdocs.yml nav")
+
+    # Collect headings per page for anchor checks.
+    headings: dict[str, set[str]] = {}
+    for path in doc_files:
+        rel = path.relative_to(DOCS).as_posix()
+        anchors = set()
+        in_fence = False
+        for line in path.read_text().splitlines():
+            if line.strip().startswith("```"):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
+            match = HEADING_RE.match(line)
+            if match:
+                anchors.add(slugify(match.group(2)))
+        headings[rel] = anchors
+
+    for path in doc_files:
+        rel = path.relative_to(DOCS).as_posix()
+        text = path.read_text()
+        lines = text.splitlines()
+
+        # Exactly one H1, and it comes first.
+        h1s = []
+        in_fence = False
+        for line in lines:
+            if line.strip().startswith("```"):
+                in_fence = not in_fence
+                continue
+            if not in_fence and line.startswith("# "):
+                h1s.append(line)
+        if len(h1s) != 1:
+            problems.append(f"docs/{rel}: expected exactly one H1, found {len(h1s)}")
+        elif not lines[0].startswith("# "):
+            problems.append(f"docs/{rel}: H1 must be the first line")
+
+        # Balanced code fences.
+        if sum(1 for line in lines if line.strip().startswith("```")) % 2 != 0:
+            problems.append(f"docs/{rel}: unbalanced code fences")
+
+        # Links resolve.
+        in_fence = False
+        for line in lines:
+            if line.strip().startswith("```"):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
+            for target in LINK_RE.findall(line):
+                if target.startswith(("http://", "https://", "mailto:")):
+                    continue
+                page, _, anchor = target.partition("#")
+                if not page:  # same-page anchor
+                    if anchor and anchor not in headings[rel]:
+                        problems.append(f"docs/{rel}: broken anchor #{anchor}")
+                    continue
+                resolved = (path.parent / page).resolve()
+                if not resolved.exists():
+                    problems.append(f"docs/{rel}: broken link {target}")
+                    continue
+                if anchor:
+                    try:
+                        link_rel = resolved.relative_to(DOCS).as_posix()
+                    except ValueError:
+                        link_rel = None
+                    if link_rel is not None and anchor not in headings.get(link_rel, set()):
+                        problems.append(f"docs/{rel}: broken anchor {target}")
+    return problems
+
+
+def main() -> int:
+    problems = check()
+    if problems:
+        for problem in problems:
+            print(f"ERROR: {problem}")
+        print(f"\n{len(problems)} problem(s) found")
+        return 1
+    pages = len(list(DOCS.glob('**/*.md')))
+    print(f"docs OK: {pages} pages, nav complete, headings and links valid")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -22,6 +22,12 @@ rolled back to the committed prefix afterwards so rejected speculative tokens
 never pollute later steps.  Pass ``use_cache=False`` to fall back to the
 original full-recompute loop (kept for equivalence testing); both paths commit
 identical token sequences.
+
+The per-step bodies (:func:`propose_candidates`, :func:`pad_candidates`,
+:func:`select_best_candidate`, the greedy verifier and the context-budget
+helpers) are module-level functions shared with the continuous-batching
+serving engine (:mod:`repro.serving`), which runs the same step for many
+requests inside one shared batched forward.
 """
 
 from __future__ import annotations
@@ -46,6 +52,194 @@ class DecodingStrategy(enum.Enum):
     NTP = "ntp"
     MEDUSA = "medusa"
     OURS = "ours"
+
+
+# --------------------------------------------------------------------------- #
+# Per-step building blocks
+#
+# The bodies of one speculative decoding step, factored out of
+# :class:`SpeculativeDecoder` so the multi-request serving engine
+# (:mod:`repro.serving.engine`) can run the identical propose/verify/commit
+# logic for many requests inside one shared batched forward.  Keeping a single
+# implementation is what makes the engine's token-identical-to-sequential
+# guarantee checkable rather than aspirational.
+# --------------------------------------------------------------------------- #
+
+
+def propose_candidates(
+    base_logits: np.ndarray,
+    head_logits: Sequence[np.ndarray],
+    config: GenerationConfig,
+    rng: np.random.Generator,
+    num_candidates: int,
+    max_heads: int,
+) -> List[List[int]]:
+    """Build candidate continuations from base + Medusa-head predictions.
+
+    Args:
+        base_logits: ``(V,)`` base-head logits at the last committed position.
+        head_logits: per-head ``(V,)`` logits at the same position.
+        config: sampling configuration (greedy vs. temperature sampling for
+            the first token; the speculated tail is always head argmax).
+        rng: per-request random generator (consumed only under sampling).
+        num_candidates: maximum number of candidates to return.
+        max_heads: number of Medusa heads to speculate with.
+
+    Returns:
+        Candidate token lists; candidate 0 always starts with the token the
+        base model itself commits this step.
+    """
+    first_token = sample_from_logits(base_logits, config, rng)
+    heads = list(head_logits[:max_heads])
+    # One stacked argmax instead of one call per head: identical results,
+    # and proposal runs once per request per step in the serving engine, so
+    # its constant factors are on the throughput-critical path.
+    head_top1 = [int(t) for t in np.argmax(np.stack(heads), axis=-1)] if heads else []
+    base_top = top_k_token_ids(base_logits, num_candidates)
+
+    candidates: List[List[int]] = []
+    # Candidate 1: committed base token + every head's top-1.
+    candidates.append([first_token] + head_top1)
+    # Candidate 2: alternative base token + heads' top-1.
+    if len(base_top) > 1 and int(base_top[1]) != first_token:
+        candidates.append([int(base_top[1])] + head_top1)
+    elif len(base_top) > 0 and int(base_top[0]) != first_token:
+        candidates.append([int(base_top[0])] + head_top1)
+    # Candidate 3: committed base token + head-1's runner-up then top-1s
+    # (only head 0's runner-up is ever needed).
+    if max_heads >= 1:
+        head0 = heads[0]
+        head0_top2 = int(top_k_token_ids(head0, 2)[1]) if head0.shape[-1] > 1 else int(np.argmax(head0))
+        alt = [first_token, head0_top2] + head_top1[1:]
+        candidates.append(alt)
+    return candidates[: max(num_candidates, 1)]
+
+
+def pad_candidates(candidates: List[List[int]], width: Optional[int] = None) -> List[List[int]]:
+    """Right-pad candidates to equal length (repeating the last token) for batching.
+
+    Args:
+        candidates: non-empty candidate token lists.
+        width: target window width; defaults to the longest candidate.  The
+            serving engine passes the widest window across *all* requests so
+            every row of the shared forward has the same shape.
+
+    Returns:
+        Padded copies; the padding tokens are never committed (acceptance
+        only ever keeps a prefix of the original candidate).
+    """
+    length = max(len(c) for c in candidates)
+    if width is not None:
+        length = max(length, width)
+    return [c + [c[-1]] * (length - len(c)) for c in candidates]
+
+
+def greedy_match_length(logits_per_position: Sequence[np.ndarray], candidate_tokens: Sequence[int]) -> int:
+    """Length of the prefix whose tokens equal the base model's argmax.
+
+    This is the lossless verification used for greedy decoding: a speculated
+    token is kept only if the base model itself would have produced it, so
+    the committed sequence is identical to what plain next-token prediction
+    would generate.
+    """
+    matched = 0
+    for logits, token_id in zip(logits_per_position, candidate_tokens):
+        if int(np.argmax(logits)) != int(token_id):
+            break
+        matched += 1
+    return matched
+
+
+def select_best_candidate(
+    candidates: List[List[int]],
+    logits_lists: Optional[Sequence[Sequence[np.ndarray]]],
+    config: GenerationConfig,
+    acceptance: TypicalAcceptance,
+    strategy: DecodingStrategy,
+    frag_id: int,
+    eos_id: int,
+    greedy_argmax: Optional[Sequence[Sequence[int]]] = None,
+) -> Tuple[List[int], int, int]:
+    """Score every verified candidate and pick the longest committed run.
+
+    The first token of each candidate comes from the base model itself and is
+    always committed; acceptance applies to the speculated tail.  Under
+    greedy decoding the verification is exact-match against the base model's
+    argmax (lossless, as in Medusa's greedy mode); under sampling it is the
+    typical-acceptance rule (eq. 1).
+
+    Args:
+        candidates: candidate token lists (unpadded).
+        logits_lists: ``logits_lists[row][i]`` are the base-model logits at
+            the position that predicts candidate token ``i`` (index 0 is
+            unused by the scoring, since token 0 is always committed).  May
+            be ``None`` when ``greedy_argmax`` is provided and the config is
+            greedy.
+        config: decoding configuration (selects greedy vs. typical acceptance).
+        acceptance: the typical-acceptance rule used under sampling.
+        strategy: :attr:`DecodingStrategy.OURS` additionally truncates the
+            accepted run back to the last complete fragment boundary.
+        frag_id: token id of the ``[FRAG]`` boundary marker.
+        eos_id: end-of-sequence token id (ends the run wherever it appears).
+        greedy_argmax: optional fast path for greedy verification —
+            ``greedy_argmax[row][j]`` is the base model's argmax at the
+            position predicting candidate token ``j + 1``, typically one
+            vectorised ``np.argmax`` over the whole verification window
+            instead of a call per position.
+
+    Returns:
+        ``(tokens, accepted, row)`` — the committed tokens, the accepted
+        length before fragment truncation, and the winning candidate index.
+    """
+    greedy = config.greedy or config.temperature <= 0.0
+    best_tokens: List[int] = []
+    best_accepted = 0
+    best_row = 0
+    for row, candidate in enumerate(candidates):
+        if greedy and greedy_argmax is not None:
+            accepted_tail = 0
+            for predicted, token in zip(greedy_argmax[row], candidate[1:]):
+                if int(predicted) != int(token):
+                    break
+                accepted_tail += 1
+        elif greedy:
+            accepted_tail = greedy_match_length(logits_lists[row][1:], candidate[1:])
+        else:
+            accepted_tail = acceptance.accepted_prefix_length(logits_lists[row][1:], candidate[1:])
+        accepted = 1 + accepted_tail
+        tokens = candidate[:accepted]
+        if strategy is DecodingStrategy.OURS:
+            tokens = truncate_to_complete_fragment(tokens, frag_id, eos_id=eos_id)
+        # EOS anywhere in the run ends the output there.
+        if eos_id in tokens:
+            tokens = tokens[: tokens.index(eos_id) + 1]
+        if len(tokens) > len(best_tokens):
+            best_tokens = tokens
+            best_accepted = accepted
+            best_row = row
+    if not best_tokens:
+        best_tokens = [candidates[0][0]]
+        best_accepted = 1
+        best_row = 0
+    return best_tokens, best_accepted, best_row
+
+
+def decoder_budget_exceeded(prompt_len: int, output_len: int, extra: int, max_seq_len: int) -> bool:
+    """True when adding ``extra`` tokens would exceed a decoder-only context window."""
+    return prompt_len + output_len + extra >= max_seq_len - 1
+
+
+def max_step_extra(prompt_len: int, output_len: int, remaining: int, max_seq_len: int) -> int:
+    """Largest candidate length a decoder-only request may speculate this step.
+
+    Starts from the request's remaining new-token budget and shrinks until
+    the candidate window fits the context window (never below 1; callers
+    check :func:`decoder_budget_exceeded` with ``extra=1`` before stepping).
+    """
+    max_extra = remaining
+    while decoder_budget_exceeded(prompt_len, output_len, max_extra, max_seq_len) and max_extra > 1:
+        max_extra -= 1
+    return max_extra
 
 
 @dataclass
@@ -102,7 +296,23 @@ class DecodeResult:
 
 
 class SpeculativeDecoder:
-    """Generates Verilog with one of the three decoding strategies."""
+    """Generates Verilog with one of the three decoding strategies.
+
+    Args:
+        model: A trained :class:`~repro.models.medusa.MedusaLM` (decoder-only
+            or encoder-decoder backbone).
+        tokenizer: The tokenizer the model was trained with.
+        strategy: ``NTP`` (one token per step), ``MEDUSA`` (speculative) or
+            ``OURS`` (speculative + fragment-integrity truncation).
+        acceptance: Typical-acceptance rule for sampling runs (defaults to
+            the paper's eq. 1 parameters).
+        num_candidates: Candidate continuations verified per step.
+        max_speculative_heads: Cap on the Medusa heads used for speculation
+            (defaults to all heads the model has).
+        use_cache: ``True`` decodes incrementally over a KV cache (default);
+            ``False`` re-runs the full forward each step (kept for
+            equivalence testing).  Both commit identical tokens.
+    """
 
     def __init__(
         self,
@@ -135,7 +345,17 @@ class SpeculativeDecoder:
     # ------------------------------------------------------------------ #
 
     def generate(self, prompt_ids: Sequence[int], config: Optional[GenerationConfig] = None) -> DecodeResult:
-        """Generate a completion for ``prompt_ids``."""
+        """Generate a completion for ``prompt_ids``.
+
+        Args:
+            prompt_ids: Tokenized prompt (BOS included).
+            config: Decoding configuration; defaults to greedy with the
+                standard token budget.
+
+        Returns:
+            A :class:`DecodeResult` with the committed tokens, decoded text,
+            per-step records and timing (prefill separated from decode).
+        """
         config = config or GenerationConfig.greedy_config()
         rng = np.random.default_rng(config.seed)
         start = time.perf_counter()
@@ -187,12 +407,15 @@ class SpeculativeDecoder:
         return decoder, None
 
     def _truncate_budget(self, prompt_ids: List[int], output_len: int, extra: int) -> bool:
-        """True when adding ``extra`` tokens would exceed the context window."""
+        """True when adding ``extra`` tokens would exceed the context window.
+
+        Encoder-decoder models spend decoder positions only on BOS + output;
+        decoder-only models share the window between prompt and output.
+        """
+        max_seq_len = self.model.backbone.max_seq_len
         if self.model.is_encoder_decoder:
-            used = 1 + output_len + extra
-        else:
-            used = len(prompt_ids) + output_len + extra
-        return used >= self.model.backbone.max_seq_len - 1
+            return decoder_budget_exceeded(1, output_len, extra, max_seq_len)
+        return decoder_budget_exceeded(len(prompt_ids), output_len, extra, max_seq_len)
 
     def _prefill(self, prompt_ids: List[int], cache) -> Tuple[np.ndarray, List[np.ndarray]]:
         """Run the one-off prompt forward that seeds the KV cache.
@@ -207,8 +430,9 @@ class SpeculativeDecoder:
             prefill_ids = np.asarray([[self.bos_id]], dtype=np.int64)
         else:
             prefill_ids = np.asarray([prompt_ids], dtype=np.int64)
-        base_logits, head_logits = self.model.forward(prefill_ids, cache=cache)
-        return base_logits[0, -1], [h[0, -1] for h in head_logits]
+        base_logits, hidden = self.model.forward_hidden(prefill_ids, cache=cache)
+        heads = self.model.head_logits_at(hidden[:, -1])
+        return base_logits[0, -1], [h[0] for h in heads]
 
     # ------------------------------------------------------------------ #
     # NTP baseline
@@ -224,7 +448,7 @@ class SpeculativeDecoder:
             if self._truncate_budget(prompt_ids, len(output_ids), 1):
                 break
             decoder, encoder = self._model_inputs(prompt_ids, output_ids)
-            base_logits, _ = self.model.forward(decoder, encoder)
+            base_logits, _ = self.model.forward_hidden(decoder, encoder)
             next_token = sample_from_logits(base_logits[0, -1], config, rng)
             output_ids.append(next_token)
             records.append(StepRecord(proposed=1, accepted=1, committed=1, ends_at_boundary=True))
@@ -258,7 +482,7 @@ class SpeculativeDecoder:
                 stopped = True
                 break
             if len(output_ids) < config.max_new_tokens and not self._truncate_budget(prompt_ids, len(output_ids), 1):
-                base_logits, _ = self.model.forward(np.asarray([[next_token]], dtype=np.int64), cache=cache)
+                base_logits, _ = self.model.forward_hidden(np.asarray([[next_token]], dtype=np.int64), cache=cache)
                 last_base = base_logits[0, -1]
         return output_ids, records, stopped, prefill_seconds
 
@@ -274,50 +498,19 @@ class SpeculativeDecoder:
         rng: np.random.Generator,
     ) -> List[List[int]]:
         """Build candidate continuations from base + head predictions."""
-        first_token = sample_from_logits(base_logits, config, rng)
-        head_count = self.max_speculative_heads
-        head_top1 = [int(np.argmax(logits)) for logits in head_logits[:head_count]]
-        head_top2 = [
-            int(top_k_token_ids(logits, 2)[1]) if logits.shape[-1] > 1 else int(np.argmax(logits))
-            for logits in head_logits[:head_count]
-        ]
-        base_top = top_k_token_ids(base_logits, self.num_candidates)
-
-        candidates: List[List[int]] = []
-        # Candidate 1: committed base token + every head's top-1.
-        candidates.append([first_token] + head_top1)
-        # Candidate 2: alternative base token + heads' top-1.
-        if len(base_top) > 1 and int(base_top[1]) != first_token:
-            candidates.append([int(base_top[1])] + head_top1)
-        elif len(base_top) > 0 and int(base_top[0]) != first_token:
-            candidates.append([int(base_top[0])] + head_top1)
-        # Candidate 3: committed base token + head-1's runner-up then top-1s.
-        if head_count >= 1:
-            alt = [first_token, head_top2[0]] + head_top1[1:]
-            candidates.append(alt)
-        return candidates[: max(self.num_candidates, 1)]
-
-    @staticmethod
-    def _greedy_match_length(logits_per_position: List[np.ndarray], candidate_tokens: List[int]) -> int:
-        """Length of the prefix whose tokens equal the base model's argmax.
-
-        This is the lossless verification used for greedy decoding: a
-        speculated token is kept only if the base model itself would have
-        produced it, so the committed sequence is identical to what plain
-        next-token prediction would generate.
-        """
-        matched = 0
-        for logits, token_id in zip(logits_per_position, candidate_tokens):
-            if int(np.argmax(logits)) != int(token_id):
-                break
-            matched += 1
-        return matched
+        return propose_candidates(
+            base_logits,
+            head_logits,
+            config,
+            rng,
+            num_candidates=self.num_candidates,
+            max_heads=self.max_speculative_heads,
+        )
 
     @staticmethod
     def _pad_candidates(candidates: List[List[int]]) -> List[List[int]]:
-        """Right-pad candidates to equal length (repeating the last token) for batching."""
-        length = max(len(c) for c in candidates)
-        return [c + [c[-1]] * (length - len(c)) for c in candidates]
+        """See :func:`pad_candidates` (kept as a method for API stability)."""
+        return pad_candidates(candidates)
 
     def _verify_candidates(
         self,
@@ -338,7 +531,7 @@ class SpeculativeDecoder:
             for candidate in padded:
                 batch_rows.append(prompt_ids + output_ids + candidate)
         batch = np.asarray(batch_rows, dtype=np.int64)
-        base_logits, _ = self.model.forward(batch, encoder_batch)
+        base_logits, _ = self.model.forward_hidden(batch, encoder_batch)
         # Position that predicts candidate token i is (prefix_len - 1 + i).
         prefix_len = batch.shape[1] - length
         per_candidate: List[List[np.ndarray]] = []
@@ -364,30 +557,15 @@ class SpeculativeDecoder:
         token ``i`` (index 0 is unused by the scoring, since token 0 is always
         committed).  Returns ``(tokens, accepted, row)``.
         """
-        best_tokens: List[int] = []
-        best_accepted = 0
-        best_row = 0
-        for row, (candidate, logits_list) in enumerate(zip(candidates, logits_lists)):
-            if config.greedy or config.temperature <= 0.0:
-                accepted_tail = self._greedy_match_length(logits_list[1:], candidate[1:])
-            else:
-                accepted_tail = self.acceptance.accepted_prefix_length(logits_list[1:], candidate[1:])
-            accepted = 1 + accepted_tail
-            tokens = candidate[:accepted]
-            if self.strategy is DecodingStrategy.OURS:
-                tokens = truncate_to_complete_fragment(tokens, self.frag_id, eos_id=self.eos_id)
-            # EOS anywhere in the run ends the output there.
-            if self.eos_id in tokens:
-                tokens = tokens[: tokens.index(self.eos_id) + 1]
-            if len(tokens) > len(best_tokens):
-                best_tokens = tokens
-                best_accepted = accepted
-                best_row = row
-        if not best_tokens:
-            best_tokens = [candidates[0][0]]
-            best_accepted = 1
-            best_row = 0
-        return best_tokens, best_accepted, best_row
+        return select_best_candidate(
+            candidates,
+            logits_lists,
+            config,
+            acceptance=self.acceptance,
+            strategy=self.strategy,
+            frag_id=self.frag_id,
+            eos_id=self.eos_id,
+        )
 
     def _clip_candidates(
         self, prompt_ids: List[int], output_ids: List[int], candidates: List[List[int]], remaining: int
@@ -409,9 +587,9 @@ class SpeculativeDecoder:
             if self._truncate_budget(prompt_ids, len(output_ids), 1):
                 break
             decoder, encoder = self._model_inputs(prompt_ids, output_ids)
-            base_logits, head_logits = self.model.forward(decoder, encoder)
+            base_logits, hidden = self.model.forward_hidden(decoder, encoder)
             last_base = base_logits[0, -1]
-            last_heads = [h[0, -1] for h in head_logits]
+            last_heads = [h[0] for h in self.model.head_logits_at(hidden[:, -1])]
             candidates = self._propose_candidates(last_base, last_heads, config, rng)
             candidates = self._clip_candidates(prompt_ids, output_ids, candidates, remaining)
 
@@ -468,15 +646,32 @@ class SpeculativeDecoder:
             padded = self._pad_candidates(candidates)
             prefix_len = cache.length
             cache.expand_batch(len(padded))
-            base_v, heads_v = self.model.forward(np.asarray(padded, dtype=np.int64), cache=cache)
+            base_v, hidden_v = self.model.forward_hidden(np.asarray(padded, dtype=np.int64), cache=cache)
             # Logits predicting candidate token i live at window position i-1;
             # token 0's predictor is the last prefix position (= the proposal
             # logits we already hold, unused by the scoring).
-            logits_lists = [
-                [last_base] + [base_v[row, i - 1] for i in range(1, len(candidate))]
-                for row, candidate in enumerate(candidates)
-            ]
-            best_tokens, best_accepted, best_row = self._select_best_candidate(candidates, logits_lists, config)
+            if config.greedy or config.temperature <= 0.0:
+                # Greedy verification only compares argmaxes: one vectorised
+                # argmax over the window replaces per-position logit reads.
+                argmax_v = np.argmax(base_v, axis=-1)
+                greedy_argmax = [argmax_v[row, : len(candidate) - 1] for row, candidate in enumerate(candidates)]
+                logits_lists = None
+            else:
+                greedy_argmax = None
+                logits_lists = [
+                    [last_base] + [base_v[row, i - 1] for i in range(1, len(candidate))]
+                    for row, candidate in enumerate(candidates)
+                ]
+            best_tokens, best_accepted, best_row = select_best_candidate(
+                candidates,
+                logits_lists,
+                config,
+                acceptance=self.acceptance,
+                strategy=self.strategy,
+                frag_id=self.frag_id,
+                eos_id=self.eos_id,
+                greedy_argmax=greedy_argmax,
+            )
 
             # Roll back: keep the accepted row, drop rejected/truncated tokens.
             committed = len(best_tokens)
@@ -495,8 +690,9 @@ class SpeculativeDecoder:
             if self.eos_id in best_tokens:
                 stopped = True
                 break
-            # The verification forward already produced the logits at the last
-            # committed position — they seed the next step's proposal.
+            # The verification forward already produced the hidden state at the
+            # last committed position — it seeds the next step's proposal (the
+            # Medusa heads are evaluated only there, never over the window).
             last_base = base_v[best_row, committed - 1]
-            last_heads = [h[best_row, committed - 1] for h in heads_v]
+            last_heads = [h[0] for h in self.model.head_logits_at(hidden_v[best_row, committed - 1][None, :])]
         return output_ids, records, stopped, prefill_seconds

@@ -187,8 +187,15 @@ class VerilogSpecPipeline:
     def decoder_for(self, method: str, num_candidates: int = 3, use_cache: bool = True) -> SpeculativeDecoder:
         """Return a :class:`SpeculativeDecoder` for a trained method.
 
-        ``use_cache=False`` selects the full-recompute decoding path (kept for
-        cached-vs-uncached equivalence and speed comparisons).
+        Args:
+            method: ``"ours"``, ``"medusa"`` or ``"ntp"`` (must be trained).
+            num_candidates: Speculative candidates verified per step.
+            use_cache: ``False`` selects the full-recompute decoding path
+                (kept for cached-vs-uncached equivalence and speed
+                comparisons).
+
+        Returns:
+            A decoder wrapping the trained model for ``method``.
         """
         if method not in self.models:
             raise KeyError(f"method {method!r} has not been trained yet")
@@ -198,4 +205,32 @@ class VerilogSpecPipeline:
             strategy=METHOD_STRATEGIES[method],
             num_candidates=num_candidates,
             use_cache=use_cache,
+        )
+
+    def engine_for(self, method: str, num_candidates: int = 3, scheduler_config=None):
+        """Return a continuous-batching :class:`~repro.serving.ServingEngine`.
+
+        The engine serves many concurrent requests through one shared batched
+        forward per step and commits token sequences identical to
+        :meth:`decoder_for`'s sequential ``generate``.
+
+        Args:
+            method: ``"ours"``, ``"medusa"`` or ``"ntp"`` (must be trained).
+            num_candidates: Speculative candidates verified per step.
+            scheduler_config: Optional
+                :class:`~repro.serving.SchedulerConfig` with admission knobs.
+
+        Returns:
+            A fresh engine wrapping the trained model for ``method``.
+        """
+        from repro.serving import ServingEngine
+
+        if method not in self.models:
+            raise KeyError(f"method {method!r} has not been trained yet")
+        return ServingEngine(
+            self.models[method],
+            self.tokenizer,
+            strategy=METHOD_STRATEGIES[method],
+            num_candidates=num_candidates,
+            scheduler_config=scheduler_config,
         )

@@ -1,8 +1,10 @@
 """Evaluation benchmarks and metrics (paper Sec. IV-B).
 
 Provides RTLLM-style and VGen-style problem suites built on the in-repo
-simulator, the pass@k / Pass Rate metrics, syntax and functional graders, and
-the speed/speedup measurement harness.
+simulator, the pass@k / Pass Rate metrics, syntax and functional graders,
+the speed/speedup measurement harness (eq. 3/4) and the serving-throughput
+harness (requests/sec, tokens/sec, latency percentiles vs. the sequential
+baseline).
 """
 
 from repro.evalbench.problems import Problem, ProblemSuite
@@ -12,6 +14,13 @@ from repro.evalbench.passk import pass_at_k, pass_at_k_from_counts, pass_rate
 from repro.evalbench.syntax_eval import check_design_compiles
 from repro.evalbench.functional import check_design_functional
 from repro.evalbench.speed import SpeedReport, measure_speed, speedup
+from repro.evalbench.throughput import (
+    ServingComparison,
+    ThroughputReport,
+    compare_serving_modes,
+    measure_sequential_throughput,
+    measure_serving_throughput,
+)
 from repro.evalbench.runner import EvaluationRunner, QualityReport
 
 __all__ = [
@@ -27,6 +36,11 @@ __all__ = [
     "SpeedReport",
     "measure_speed",
     "speedup",
+    "ServingComparison",
+    "ThroughputReport",
+    "compare_serving_modes",
+    "measure_sequential_throughput",
+    "measure_serving_throughput",
     "EvaluationRunner",
     "QualityReport",
 ]

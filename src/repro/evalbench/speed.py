@@ -67,6 +67,19 @@ def measure_speed(
     Each prompt is decoded with greedy decoding and, when ``include_sampling``
     is True, additionally with temperature sampling — matching the paper's
     "575 x 2 outputs" protocol.
+
+    Args:
+        decoder: The decoder under measurement (any strategy / cache mode).
+        prompts: Prompt texts; each contributes one or two outputs.
+        max_new_tokens: Per-output generation budget.
+        sampling_temperature: Temperature of the sampling pass.
+        include_sampling: Add the temperature-sampling output per prompt.
+        label: Label recorded on the report.
+        keep_outputs: Retain every :class:`DecodeResult` in
+            ``report.per_output`` (memory-heavy; used by equivalence checks).
+
+    Returns:
+        A :class:`SpeedReport` aggregating per-output rates.
     """
     results: List[DecodeResult] = []
     for index, prompt in enumerate(prompts):
@@ -149,6 +162,19 @@ def compare_cache_modes(
     Both decoders must wrap the same model/strategy; the comparison records
     the wall-clock speedup of incremental decoding and checks that the two
     paths commit identical token sequences.
+
+    Args:
+        cached_decoder: Decoder built with ``use_cache=True``.
+        uncached_decoder: The same model/strategy with ``use_cache=False``.
+        prompts: Prompt texts measured under both modes.
+        max_new_tokens: Per-output generation budget.
+        sampling_temperature: Temperature of the sampling pass.
+        include_sampling: Add a temperature-sampling output per prompt.
+        label: Base label for the two embedded reports.
+
+    Returns:
+        A :class:`CacheComparison` with both reports, the wall-clock speedup
+        and the token-identity flag.
     """
     cached = measure_speed(
         cached_decoder,

@@ -1,0 +1,224 @@
+"""Serving throughput measurement: batched engine vs. sequential baseline.
+
+Where :mod:`repro.evalbench.speed` measures single-stream generation speed
+(the paper's eq. 3), this module measures the *serving* quantities that matter
+once many requests arrive concurrently:
+
+* **requests/sec** — completed requests per wall-clock second;
+* **tokens/sec** — aggregate generated tokens per wall-clock second;
+* **latency p50/p95** — submission-to-completion latency per request.  For
+  the sequential baseline all requests are treated as submitted at once and
+  processed FCFS, so request ``i``'s latency includes the time spent decoding
+  requests ``0..i-1`` — the queueing delay continuous batching exists to
+  remove.
+
+:func:`compare_serving_modes` runs the same prompt set through a
+:class:`~repro.serving.engine.ServingEngine` and through sequential
+:meth:`~repro.core.decoding.SpeculativeDecoder.generate` calls, checks the
+outputs are token-identical, and reports the throughput/latency ratios.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.decoding import DecodeResult, SpeculativeDecoder
+from repro.models.generation import GenerationConfig
+from repro.serving.engine import ServingEngine
+
+
+def _percentile(values: Sequence[float], q: float) -> float:
+    """Linear-interpolation percentile (numpy default), 0.0 for empty input."""
+    if not values:
+        return 0.0
+    return float(np.percentile(np.asarray(values, dtype=np.float64), q))
+
+
+@dataclass
+class ThroughputReport:
+    """Aggregate serving statistics for one run over a prompt set.
+
+    Attributes:
+        label: Human-readable run label (e.g. ``"ours+serving"``).
+        num_requests: Completed request count.
+        total_tokens: Generated tokens summed over requests.
+        wall_seconds: Wall-clock time from first submission to last
+            completion.
+        requests_per_second: ``num_requests / wall_seconds``.
+        tokens_per_second: ``total_tokens / wall_seconds``.
+        mean_latency / p50_latency / p95_latency: Submission-to-completion
+            latency statistics in seconds (queueing included).
+    """
+
+    label: str
+    num_requests: int
+    total_tokens: int
+    wall_seconds: float
+    requests_per_second: float
+    tokens_per_second: float
+    mean_latency: float
+    p50_latency: float
+    p95_latency: float
+    latencies: List[float] = field(default_factory=list)
+
+    @classmethod
+    def from_latencies(
+        cls, label: str, num_requests: int, total_tokens: int, wall_seconds: float, latencies: List[float]
+    ) -> "ThroughputReport":
+        """Build a report from per-request latencies and the run wall time."""
+        return cls(
+            label=label,
+            num_requests=num_requests,
+            total_tokens=total_tokens,
+            wall_seconds=wall_seconds,
+            requests_per_second=num_requests / wall_seconds if wall_seconds > 0 else 0.0,
+            tokens_per_second=total_tokens / wall_seconds if wall_seconds > 0 else 0.0,
+            mean_latency=sum(latencies) / len(latencies) if latencies else 0.0,
+            p50_latency=_percentile(latencies, 50),
+            p95_latency=_percentile(latencies, 95),
+            latencies=latencies,
+        )
+
+    def to_dict(self) -> dict:
+        """Machine-readable summary (benchmark JSON artifacts)."""
+        return {
+            "label": self.label,
+            "num_requests": self.num_requests,
+            "total_tokens": self.total_tokens,
+            "wall_seconds": self.wall_seconds,
+            "requests_per_second": self.requests_per_second,
+            "tokens_per_second": self.tokens_per_second,
+            "mean_latency": self.mean_latency,
+            "p50_latency": self.p50_latency,
+            "p95_latency": self.p95_latency,
+        }
+
+
+def measure_serving_throughput(
+    engine: ServingEngine,
+    prompts: Sequence[str],
+    config: Optional[GenerationConfig] = None,
+    label: str = "serving",
+) -> Tuple[ThroughputReport, List[DecodeResult]]:
+    """Submit every prompt to ``engine`` at once, run to completion, and measure.
+
+    Args:
+        engine: A fresh engine (no in-flight requests).
+        prompts: Prompt texts; each becomes one request.
+        config: Decoding configuration shared by all requests (defaults to
+            greedy); per-request configs are an engine feature, not needed
+            for the benchmark comparison.
+        label: Report label.
+
+    Returns:
+        ``(report, results)`` with ``results`` in prompt order.
+    """
+    config = config or GenerationConfig.greedy_config()
+    start = time.perf_counter()
+    request_ids = [engine.submit_text(prompt, config) for prompt in prompts]
+    completed = engine.run()
+    wall = time.perf_counter() - start
+    results = [completed[request_id] for request_id in request_ids]
+    latencies = [engine.scheduler_latency(request_id) for request_id in request_ids]
+    total_tokens = sum(result.tokens_generated for result in results)
+    report = ThroughputReport.from_latencies(label, len(results), total_tokens, wall, latencies)
+    return report, results
+
+
+def measure_sequential_throughput(
+    decoder: SpeculativeDecoder,
+    prompts: Sequence[str],
+    config: Optional[GenerationConfig] = None,
+    label: str = "sequential",
+) -> Tuple[ThroughputReport, List[DecodeResult]]:
+    """Decode the prompts one after another, as a serverless baseline would.
+
+    All prompts are considered submitted at time zero, so request ``i``'s
+    latency is the cumulative wall time through the end of its own decode —
+    the FCFS queueing delay a single-stream server imposes.
+    """
+    config = config or GenerationConfig.greedy_config()
+    results: List[DecodeResult] = []
+    latencies: List[float] = []
+    start = time.perf_counter()
+    for prompt in prompts:
+        results.append(decoder.generate_from_text(prompt, config))
+        latencies.append(time.perf_counter() - start)
+    wall = time.perf_counter() - start
+    total_tokens = sum(result.tokens_generated for result in results)
+    report = ThroughputReport.from_latencies(label, len(results), total_tokens, wall, latencies)
+    return report, results
+
+
+@dataclass
+class ServingComparison:
+    """Batched serving vs. sequential decoding on the same prompts."""
+
+    serving: ThroughputReport
+    sequential: ThroughputReport
+    #: True when the engine committed exactly the token sequence sequential
+    #: ``generate`` commits for every prompt — the engine's core guarantee.
+    tokens_identical: bool
+
+    @property
+    def throughput_speedup(self) -> float:
+        """Serving requests/sec over sequential requests/sec."""
+        if self.sequential.requests_per_second <= 0:
+            return 0.0
+        return self.serving.requests_per_second / self.sequential.requests_per_second
+
+    @property
+    def p95_latency_ratio(self) -> float:
+        """Sequential p95 latency over serving p95 latency (higher is better)."""
+        if self.serving.p95_latency <= 0:
+            return 0.0
+        return self.sequential.p95_latency / self.serving.p95_latency
+
+    def to_dict(self) -> dict:
+        return {
+            "serving": self.serving.to_dict(),
+            "sequential": self.sequential.to_dict(),
+            "throughput_speedup": self.throughput_speedup,
+            "p95_latency_ratio": self.p95_latency_ratio,
+            "tokens_identical": self.tokens_identical,
+        }
+
+
+def compare_serving_modes(
+    engine: ServingEngine,
+    decoder: SpeculativeDecoder,
+    prompts: Sequence[str],
+    config: Optional[GenerationConfig] = None,
+    label: str = "",
+) -> ServingComparison:
+    """Measure the same prompts through the engine and sequentially.
+
+    ``engine`` and ``decoder`` must wrap the same model and strategy; the
+    comparison verifies the two commit identical token sequences and reports
+    the throughput and tail-latency ratios.
+    """
+    serving_report, serving_results = measure_serving_throughput(
+        engine, prompts, config, label=f"{label}+serving" if label else "serving"
+    )
+    sequential_report, sequential_results = measure_sequential_throughput(
+        decoder, prompts, config, label=f"{label}-sequential" if label else "sequential"
+    )
+    tokens_identical = all(
+        s.token_ids == q.token_ids for s, q in zip(serving_results, sequential_results)
+    )
+    return ServingComparison(
+        serving=serving_report, sequential=sequential_report, tokens_identical=tokens_identical
+    )
+
+
+__all__ = [
+    "ServingComparison",
+    "ThroughputReport",
+    "compare_serving_modes",
+    "measure_sequential_throughput",
+    "measure_serving_throughput",
+]

@@ -45,15 +45,28 @@ def sample_from_logits(
     Greedy configurations return the argmax.  Sampling configurations divide
     the logits by the temperature, optionally truncate to the top-k most
     probable tokens, and draw from the resulting distribution.
+
+    Args:
+        logits: ``(V,)`` unnormalised scores.
+        config: decoding configuration; ``top_k`` larger than the vocabulary
+            is clamped to ``V`` (i.e. no truncation), matching
+            :func:`top_k_token_ids`.
+        rng: seeded generator for sampling; defaults to one seeded from
+            ``config.seed``.
+
+    Returns:
+        The chosen token id.
     """
     if config.greedy or config.temperature <= 0.0:
         return int(np.argmax(logits))
     scaled = logits / max(config.temperature, 1e-6)
     if config.top_k and config.top_k > 0:
-        top_indices = np.argpartition(scaled, -config.top_k)[-config.top_k :]
-        mask = np.full_like(scaled, -np.inf)
-        mask[top_indices] = scaled[top_indices]
-        scaled = mask
+        top_k = min(config.top_k, scaled.shape[-1])
+        if top_k < scaled.shape[-1]:
+            top_indices = np.argpartition(scaled, -top_k)[-top_k:]
+            mask = np.full_like(scaled, -np.inf)
+            mask[top_indices] = scaled[top_indices]
+            scaled = mask
     probabilities = softmax(scaled)
     generator = rng if rng is not None else np.random.default_rng(config.seed)
     return int(generator.choice(len(probabilities), p=probabilities))

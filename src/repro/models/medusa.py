@@ -113,6 +113,48 @@ class MedusaLM(Module):
         head_logits = [head.forward(hidden) for head in self.medusa_heads]
         return base_logits, head_logits
 
+    def forward_hidden(
+        self,
+        input_ids: np.ndarray,
+        encoder_ids: Optional[np.ndarray] = None,
+        cache: Optional[KVCache] = None,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Compute base-head logits and return the hidden states alongside.
+
+        The decoding hot loops need base logits at *every* position (for
+        candidate verification) but Medusa-head logits at only *one* position
+        per sequence — the last committed token, which is not known until
+        after verification.  This entry point skips the head projections
+        entirely; callers evaluate :meth:`head_logits_at` on the handful of
+        hidden vectors they actually need, which removes the dominant
+        per-step cost of running every head over every window position.
+
+        Args:
+            input_ids: as for :meth:`forward`.
+            encoder_ids: as for :meth:`forward`.
+            cache: as for :meth:`forward`.
+
+        Returns:
+            ``(base_logits, hidden)`` with shapes ``(B, T, V)`` and
+            ``(B, T, D)``.
+        """
+        hidden = self.backbone.hidden_states(input_ids, encoder_ids, cache=cache)
+        self._last_hidden = hidden
+        return self.base_head.forward(hidden), hidden
+
+    def head_logits_at(self, hidden: np.ndarray) -> List[np.ndarray]:
+        """Medusa-head logits for a batch of single hidden vectors.
+
+        Args:
+            hidden: ``(N, D)`` hidden states (one per sequence, typically the
+                last committed position of each).
+
+        Returns:
+            One ``(N, V)`` logits array per Medusa head.
+        """
+        expanded = hidden[:, None, :]
+        return [head.forward(expanded)[:, 0] for head in self.medusa_heads]
+
     def new_cache(self, batch: int = 1) -> KVCache:
         """Create an empty KV cache for incremental decoding with this model."""
         return self.backbone.make_cache(batch=batch)

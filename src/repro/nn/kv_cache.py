@@ -7,9 +7,11 @@ is to cache each attention layer's key/value projections for the committed
 prefix, so each step only projects the *new* tokens and attends over the
 cached keys.
 
-:class:`KVCache` owns one :class:`LayerKVCache` per transformer layer and
-supports the three operations speculative decoding needs beyond plain
-appending:
+:class:`KVCache` owns one :class:`LayerKVCache` per transformer layer.  Two
+workloads are built on top of it:
+
+**Single-stream speculative decoding** (:mod:`repro.core.decoding`) uses three
+operations beyond plain appending:
 
 * ``truncate(length)`` — roll the cache back to a committed prefix after
   typical-acceptance and fragment-integrity truncation, so rejected
@@ -18,6 +20,26 @@ appending:
   continuations are verified in one batched cached forward;
 * ``keep_row(row)`` — collapse back to the accepted candidate's row.
 
+**Multi-request serving** (:mod:`repro.serving`) keeps one cache row per
+in-flight request.  Requests sit at *different* prefix lengths, so the cache
+is *ragged*: every row carries its own length (``lengths``), appends land at
+per-row offsets, and attention masks each row against its own past.  The
+serving engine drives this through the multi-row generalisations:
+
+* ``repeat_rows(repeats)`` — tile each request row once per speculative
+  candidate (per-row repeat counts, so requests may propose different
+  candidate counts);
+* ``select_rows(rows)`` — gather an arbitrary subset/ordering of rows, used
+  both to keep each request's accepted candidate and to reclaim the rows of
+  completed requests (the multi-row ``keep_row``);
+* ``truncate_rows(lengths)`` — per-row rollback to each request's committed
+  prefix;
+* ``concat(caches)`` — merge freshly prefilled batch-1 caches into the shared
+  cache when the scheduler admits new requests;
+* ``set_append_widths(widths)`` — declare, for the next forward, how many of
+  the incoming window positions are real per row (the rest are right-padding
+  that must not be stored).
+
 Cross-attention K/V (encoder-decoder models) is position-independent on the
 decoder side, so each layer slot can additionally hold the projected encoder
 memory, computed once at prefill and reused for every decode step.
@@ -25,7 +47,7 @@ memory, computed once at prefill and reused for every decode step.
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -34,34 +56,72 @@ class LayerKVCache:
     """K/V storage for one attention layer.
 
     Self-attention keys/values are stored pre-split by head with shape
-    ``(batch, num_heads, capacity, head_dim)`` and filled in place up to
-    ``length``.  Cross-attention keys/values (optional) are stored whole,
-    since the encoder memory never grows.
+    ``(batch, num_heads, capacity, head_dim)``.  Each batch row ``r`` is
+    filled in place up to ``lengths[r]`` — rows may hold prefixes of
+    different lengths (ragged batching, used by the serving engine).
+    Cross-attention keys/values (optional) are stored whole, since the
+    encoder memory never grows.
     """
 
     def __init__(self, batch: int, num_heads: int, capacity: int, head_dim: int) -> None:
         self.capacity = capacity
-        self.length = 0
+        self.lengths = np.zeros(batch, dtype=np.int64)
         self.k = np.zeros((batch, num_heads, capacity, head_dim), dtype=np.float32)
         self.v = np.zeros((batch, num_heads, capacity, head_dim), dtype=np.float32)
         self.cross_k: Optional[np.ndarray] = None
         self.cross_v: Optional[np.ndarray] = None
+        #: Per-row append widths for the next :meth:`append` (ragged serving
+        #: steps); ``None`` means every incoming position is real.
+        self.append_widths: Optional[np.ndarray] = None
 
     @property
     def batch(self) -> int:
         return self.k.shape[0]
 
+    @property
+    def length(self) -> int:
+        """Longest cached prefix across rows (== every row for uniform caches)."""
+        return int(self.lengths.max(initial=0))
+
     def append(self, k_new: np.ndarray, v_new: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
-        """Store ``(batch, heads, t, head_dim)`` projections; return the full prefix views."""
+        """Store ``(batch, heads, t, head_dim)`` projections; return the full prefix views.
+
+        Row ``r``'s new keys/values land at offset ``lengths[r]``.  When
+        :attr:`append_widths` is set, only the first ``append_widths[r]``
+        window positions of row ``r`` are stored (the remainder is
+        right-padding from cross-request window alignment).  The returned
+        views cover positions ``0 .. max(lengths)`` after the append; entries
+        past a row's own length are stale and must be masked by the caller.
+        """
         t = k_new.shape[2]
-        if self.length + t > self.capacity:
-            raise ValueError(f"KV cache overflow: {self.length} + {t} > capacity {self.capacity}")
         if k_new.shape[0] != self.batch:
             raise ValueError(f"batch mismatch: cache has {self.batch} rows, got {k_new.shape[0]}")
-        self.k[:, :, self.length : self.length + t] = k_new
-        self.v[:, :, self.length : self.length + t] = v_new
-        self.length += t
-        return self.k[:, :, : self.length], self.v[:, :, : self.length]
+        if self.append_widths is None:
+            widths = np.full(self.batch, t, dtype=np.int64)
+        else:
+            widths = np.asarray(self.append_widths, dtype=np.int64)
+            if widths.shape != (self.batch,):
+                raise ValueError(f"append_widths shape {widths.shape} != (batch,) = ({self.batch},)")
+            if np.any(widths < 0) or np.any(widths > t):
+                raise ValueError(f"append widths must lie in [0, {t}], got {widths}")
+        if int((self.lengths + widths).max(initial=0)) > self.capacity:
+            raise ValueError(
+                f"KV cache overflow: {self.lengths} + {widths} > capacity {self.capacity}"
+            )
+        if self.append_widths is None and self.batch > 0 and np.all(self.lengths == self.lengths[0]):
+            # Uniform fast path: one contiguous block assignment.
+            start = int(self.lengths[0])
+            self.k[:, :, start : start + t] = k_new
+            self.v[:, :, start : start + t] = v_new
+        else:
+            for row in range(self.batch):
+                start = int(self.lengths[row])
+                width = int(widths[row])
+                self.k[row, :, start : start + width] = k_new[row, :, :width]
+                self.v[row, :, start : start + width] = v_new[row, :, :width]
+        self.lengths = self.lengths + widths
+        view = self.length
+        return self.k[:, :, :view], self.v[:, :, :view]
 
     def set_cross(self, k: np.ndarray, v: np.ndarray) -> None:
         self.cross_k = k
@@ -87,8 +147,18 @@ class KVCache:
 
     @property
     def length(self) -> int:
-        """Number of cached positions (identical across layers)."""
+        """Longest cached prefix across rows (identical across layers).
+
+        For the uniform caches used by single-stream decoding every row has
+        this length; ragged serving caches expose per-row lengths via
+        :attr:`lengths`.
+        """
         return self.layers[0].length
+
+    @property
+    def lengths(self) -> np.ndarray:
+        """Per-row cached prefix lengths, shape ``(batch,)`` (copy)."""
+        return self.layers[0].lengths.copy()
 
     @property
     def batch(self) -> int:
@@ -98,10 +168,29 @@ class KVCache:
     def num_layers(self) -> int:
         return len(self.layers)
 
+    @property
+    def append_widths(self) -> Optional[np.ndarray]:
+        """Per-row real-token widths declared for the next forward (or None)."""
+        return self.layers[0].append_widths
+
+    def set_append_widths(self, widths: Optional[Sequence[int]]) -> None:
+        """Declare per-row real-token widths for the next incremental forward.
+
+        The serving engine right-pads every request's candidate window to a
+        common width so one batched forward covers all requests; ``widths``
+        tells each layer's :meth:`LayerKVCache.append` how many of those
+        window positions actually belong to each row.  Pass ``None`` to clear
+        (every position real again).  The setting persists until cleared, so
+        callers should wrap the forward in ``try/finally``.
+        """
+        arr = None if widths is None else np.asarray(widths, dtype=np.int64)
+        for layer in self.layers:
+            layer.append_widths = arr
+
     # -- speculative-decoding operations -------------------------------------
 
     def truncate(self, length: int) -> None:
-        """Roll every layer back to ``length`` cached positions.
+        """Roll every layer (every row) back to at most ``length`` cached positions.
 
         Used after candidate verification to discard the K/V of speculated
         tokens that typical acceptance or the fragment-integrity check
@@ -110,7 +199,7 @@ class KVCache:
         if length < 0:
             raise ValueError(f"cannot truncate to negative length {length}")
         for layer in self.layers:
-            layer.length = min(layer.length, length)
+            layer.lengths = np.minimum(layer.lengths, length)
 
     @staticmethod
     def _retile(source: np.ndarray, rows: int, length: int) -> np.ndarray:
@@ -132,6 +221,7 @@ class KVCache:
         for layer in self.layers:
             layer.k = self._retile(layer.k, n, layer.length)
             layer.v = self._retile(layer.v, n, layer.length)
+            layer.lengths = np.repeat(layer.lengths, n)
             if layer.has_cross:
                 layer.cross_k = np.repeat(layer.cross_k, n, axis=0)
                 layer.cross_v = np.repeat(layer.cross_v, n, axis=0)
@@ -144,9 +234,182 @@ class KVCache:
         """
         if not 0 <= row < self.batch:
             raise IndexError(f"row {row} out of range for batch {self.batch}")
+        self.select_rows([row])
+
+    # -- multi-request serving operations -------------------------------------
+
+    def select_rows(self, rows: Sequence[int]) -> None:
+        """Gather an arbitrary subset/ordering of rows, in place.
+
+        The multi-row generalisation of :meth:`keep_row`: the serving engine
+        uses it to keep each request's accepted candidate row out of the
+        expanded verification batch and to reclaim the rows of completed or
+        evicted requests.  Rows may be repeated or dropped; each surviving
+        row keeps its own length.  The copy detaches the survivors so the
+        dropped rows' storage can be freed.
+        """
+        rows = list(rows)
+        for row in rows:
+            if not 0 <= row < self.batch:
+                raise IndexError(f"row {row} out of range for batch {self.batch}")
+        index = np.asarray(rows, dtype=np.int64)
         for layer in self.layers:
-            layer.k = self._retile(layer.k[row : row + 1], 1, layer.length)
-            layer.v = self._retile(layer.v[row : row + 1], 1, layer.length)
+            view = layer.length
+            # Zero-filled allocation keeps the ragged-buffer invariant: every
+            # position outside a row's own prefix is finite, so masked
+            # attention weights (exactly 0 after softmax) cannot meet inf/NaN
+            # garbage and produce 0 * inf = NaN.
+            new_k = np.zeros((len(rows),) + layer.k.shape[1:], dtype=layer.k.dtype)
+            new_v = np.zeros((len(rows),) + layer.v.shape[1:], dtype=layer.v.dtype)
+            new_k[:, :, :view] = layer.k[index, :, :view]
+            new_v[:, :, :view] = layer.v[index, :, :view]
+            layer.k = new_k
+            layer.v = new_v
+            layer.lengths = layer.lengths[index].copy()
             if layer.has_cross:
-                layer.cross_k = layer.cross_k[row : row + 1].copy()
-                layer.cross_v = layer.cross_v[row : row + 1].copy()
+                layer.cross_k = layer.cross_k[index].copy()
+                layer.cross_v = layer.cross_v[index].copy()
+
+    def truncate_rows(self, lengths: Sequence[int]) -> None:
+        """Roll each row back to its own committed prefix length.
+
+        The per-row generalisation of :meth:`truncate`, used after a batched
+        serving step to discard every request's rejected speculative tokens
+        at once.  Entries longer than a row's current length are no-ops.
+        """
+        target = np.asarray(lengths, dtype=np.int64)
+        if target.shape != (self.batch,):
+            raise ValueError(f"lengths shape {target.shape} != (batch,) = ({self.batch},)")
+        if np.any(target < 0):
+            raise ValueError(f"cannot truncate to negative lengths {target}")
+        for layer in self.layers:
+            layer.lengths = np.minimum(layer.lengths, target)
+
+    def repeat_rows(self, repeats: Union[int, Sequence[int]], capacity: Optional[int] = None) -> "KVCache":
+        """Return a new cache with row ``r`` tiled ``repeats[r]`` times (in order).
+
+        Serving uses this to expand the one-row-per-request cache into one
+        row per speculative candidate before the shared verification forward;
+        per-row counts let requests propose different numbers of candidates.
+        The source cache is left untouched.
+
+        Args:
+            repeats: per-row tile counts (or one count for every row).
+            capacity: capacity of the returned cache; defaults to the source
+                capacity.  Step caches that only live for one verification
+                forward pass pass ``max(lengths) + window`` here, avoiding a
+                full-capacity allocation per step.
+        """
+        if isinstance(repeats, (int, np.integer)):
+            counts = np.full(self.batch, int(repeats), dtype=np.int64)
+        else:
+            counts = np.asarray(repeats, dtype=np.int64)
+            if counts.shape != (self.batch,):
+                raise ValueError(f"repeats shape {counts.shape} != (batch,) = ({self.batch},)")
+        if np.any(counts < 0):
+            raise ValueError(f"repeat counts must be non-negative, got {counts}")
+        new_capacity = self.capacity if capacity is None else capacity
+        if new_capacity < self.length:
+            raise ValueError(f"capacity {new_capacity} below cached length {self.length}")
+        out = KVCache(self.num_layers, self.num_heads, self.head_dim, new_capacity, batch=0)
+        for layer, out_layer in zip(self.layers, out.layers):
+            view = layer.length
+            rows = int(counts.sum())
+            # Zero-filled for the ragged-buffer invariant (see select_rows).
+            new_k = np.zeros((rows, self.num_heads, new_capacity, self.head_dim), dtype=layer.k.dtype)
+            new_v = np.zeros_like(new_k)
+            index = np.repeat(np.arange(self.batch), counts)
+            new_k[:, :, :view] = layer.k[index, :, :view]
+            new_v[:, :, :view] = layer.v[index, :, :view]
+            out_layer.k = new_k
+            out_layer.v = new_v
+            out_layer.lengths = np.repeat(layer.lengths, counts)
+            if layer.has_cross:
+                out_layer.cross_k = np.repeat(layer.cross_k, counts, axis=0)
+                out_layer.cross_v = np.repeat(layer.cross_v, counts, axis=0)
+        return out
+
+    def compact_rows(self, rows: Sequence[int], lengths: Sequence[int], capacity: Optional[int] = None) -> "KVCache":
+        """Gather ``rows`` truncated to per-row ``lengths`` into a new cache.
+
+        Fuses :meth:`select_rows` + :meth:`truncate_rows` into one copy that
+        moves only each row's committed prefix — the per-step compaction of
+        the serving engine (keep each request's accepted candidate row, drop
+        its rejected speculative tail).  ``capacity`` restores a full-size
+        cache when compacting out of a trimmed step cache.
+        """
+        rows = list(rows)
+        for row in rows:
+            if not 0 <= row < self.batch:
+                raise IndexError(f"row {row} out of range for batch {self.batch}")
+        target = np.asarray(lengths, dtype=np.int64)
+        if target.shape != (len(rows),):
+            raise ValueError(f"lengths shape {target.shape} != ({len(rows)},)")
+        if np.any(target < 0):
+            raise ValueError(f"cannot compact to negative lengths {target}")
+        new_capacity = self.capacity if capacity is None else capacity
+        index = np.asarray(rows, dtype=np.int64)
+        kept_lengths = np.minimum(self.layers[0].lengths[index], target)
+        if int(kept_lengths.max(initial=0)) > new_capacity:
+            raise ValueError(f"capacity {new_capacity} below kept length {int(kept_lengths.max(initial=0))}")
+        out = KVCache(self.num_layers, self.num_heads, self.head_dim, new_capacity, batch=0)
+        view = int(kept_lengths.max(initial=0))
+        for layer, out_layer in zip(self.layers, out.layers):
+            new_k = np.zeros((len(rows), self.num_heads, new_capacity, self.head_dim), dtype=layer.k.dtype)
+            new_v = np.zeros_like(new_k)
+            new_k[:, :, :view] = layer.k[index, :, :view]
+            new_v[:, :, :view] = layer.v[index, :, :view]
+            out_layer.k = new_k
+            out_layer.v = new_v
+            out_layer.lengths = kept_lengths.copy()
+            if layer.has_cross:
+                out_layer.cross_k = layer.cross_k[index].copy()
+                out_layer.cross_v = layer.cross_v[index].copy()
+        return out
+
+    @classmethod
+    def concat(cls, caches: Sequence["KVCache"]) -> "KVCache":
+        """Stack the rows of several same-geometry caches into one batched cache.
+
+        The serving engine prefills each newly admitted request into its own
+        batch-1 cache and then merges it into the shared per-request cache
+        with ``concat``.  All caches must agree on layer count, head geometry
+        and capacity; rows keep their own lengths (the result is ragged).
+        """
+        if not caches:
+            raise ValueError("concat needs at least one cache")
+        first = caches[0]
+        for other in caches[1:]:
+            same = (
+                other.num_layers == first.num_layers
+                and other.num_heads == first.num_heads
+                and other.head_dim == first.head_dim
+            )
+            if not same:
+                raise ValueError("concat requires caches with identical layer/head geometry")
+        # Capacities may differ (the serving engine keeps its persistent cache
+        # trimmed between steps); the merged cache takes the largest.
+        capacity = max(cache.capacity for cache in caches)
+        total = sum(cache.batch for cache in caches)
+        out = cls(first.num_layers, first.num_heads, first.head_dim, capacity, batch=0)
+        for layer_index, out_layer in enumerate(out.layers):
+            sources = [cache.layers[layer_index] for cache in caches]
+            new_k = np.zeros((total, first.num_heads, capacity, first.head_dim), dtype=np.float32)
+            new_v = np.zeros_like(new_k)
+            offset = 0
+            for source in sources:
+                view = source.length
+                new_k[offset : offset + source.batch, :, :view] = source.k[:, :, :view]
+                new_v[offset : offset + source.batch, :, :view] = source.v[:, :, :view]
+                offset += source.batch
+            out_layer.k = new_k
+            out_layer.v = new_v
+            out_layer.lengths = np.concatenate([source.lengths for source in sources])
+            if all(source.has_cross for source in sources):
+                out_layer.cross_k = np.concatenate([source.cross_k for source in sources], axis=0)
+                out_layer.cross_v = np.concatenate([source.cross_v for source in sources], axis=0)
+            elif any(source.has_cross for source in sources):
+                # Silently dropping some rows' cross K/V would surface much
+                # later as a confusing "encode() must be called" error.
+                raise ValueError("concat requires all caches or none to hold cross-attention K/V")
+        return out

@@ -171,6 +171,10 @@ class CausalSelfAttention(Module):
         self.num_heads = num_heads
         self.head_dim = dim // num_heads
         self.causal = causal
+        # Python-float scale: keeps float32 scores float32 under NumPy 2's
+        # promotion rules (an np.float64 scalar would promote the whole
+        # attention computation, and everything downstream, to float64).
+        self.scale = float(np.sqrt(self.head_dim))
         self.qkv = Linear(dim, 3 * dim, rng, name=f"{name}.qkv")
         self.proj = Linear(dim, dim, rng, name=f"{name}.proj")
         self._cache = None
@@ -188,17 +192,29 @@ class CausalSelfAttention(Module):
 
         qh, kh, vh = split_heads(q), split_heads(k), split_heads(v)
         if layer_cache is not None:
-            past = layer_cache.length
+            # Per-row pasts: serving batches requests whose cached prefixes
+            # have different lengths (ragged rows), so each row masks against
+            # its own past.  Uniform caches reduce to the classic causal mask.
+            past_rows = layer_cache.lengths.copy()
             kh, vh = layer_cache.append(kh, vh)
+            scores = qh @ kh.transpose(0, 1, 3, 2) / self.scale
+            if self.causal:
+                # Row r's query i sits at absolute position past_r + i and may
+                # attend to keys 0..past_r+i.  Keys past a row's own length are
+                # stale storage from longer rows; they sit at positions
+                # > past_r + i for every valid query, so the same comparison
+                # masks them too.
+                key_positions = np.arange(kh.shape[2])
+                query_positions = past_rows[:, None] + np.arange(time)[None, :]
+                mask = key_positions[None, None, :] > query_positions[:, :, None]
+                np.copyto(scores, -1e9, where=mask[:, None, :, :])
         else:
-            past = 0
-        scores = qh @ kh.transpose(0, 1, 3, 2) / np.sqrt(self.head_dim)
-        if self.causal:
-            # Query i sits at absolute position past + i and may attend to keys 0..past+i.
-            key_positions = np.arange(past + time)
-            query_positions = past + np.arange(time)
-            mask = key_positions[None, :] > query_positions[:, None]
-            scores = np.where(mask, -1e9, scores)
+            scores = qh @ kh.transpose(0, 1, 3, 2) / self.scale
+            if self.causal:
+                # Query i may attend to keys 0..i.
+                key_positions = np.arange(time)
+                mask = key_positions[None, :] > key_positions[:, None]
+                np.copyto(scores, -1e9, where=np.broadcast_to(mask, scores.shape))
         weights = softmax(scores, axis=-1)
         context = weights @ vh
         merged = context.transpose(0, 2, 1, 3).reshape(batch, time, dim)
@@ -218,7 +234,7 @@ class CausalSelfAttention(Module):
         # Softmax backward.
         dot = np.sum(grad_weights * weights, axis=-1, keepdims=True)
         grad_scores = weights * (grad_weights - dot)
-        grad_scores /= np.sqrt(self.head_dim)
+        grad_scores /= self.scale
 
         grad_qh = grad_scores @ kh
         grad_kh = grad_scores.transpose(0, 1, 3, 2) @ qh
@@ -239,6 +255,7 @@ class CrossAttention(Module):
         self.dim = dim
         self.num_heads = num_heads
         self.head_dim = dim // num_heads
+        self.scale = float(np.sqrt(self.head_dim))
         self.q_proj = Linear(dim, dim, rng, name=f"{name}.q")
         self.kv_proj = Linear(dim, 2 * dim, rng, name=f"{name}.kv")
         self.out_proj = Linear(dim, dim, rng, name=f"{name}.out")
@@ -275,7 +292,7 @@ class CrossAttention(Module):
                     kh = np.repeat(kh, batch // kh.shape[0], axis=0)
                     vh = np.repeat(vh, batch // vh.shape[0], axis=0)
                 layer_cache.set_cross(kh, vh)
-        scores = qh @ kh.transpose(0, 1, 3, 2) / np.sqrt(self.head_dim)
+        scores = qh @ kh.transpose(0, 1, 3, 2) / self.scale
         weights = softmax(scores, axis=-1)
         context = weights @ vh
         merged = context.transpose(0, 2, 1, 3).reshape(batch, time, dim)
@@ -291,7 +308,7 @@ class CrossAttention(Module):
         grad_weights = grad_context @ vh.transpose(0, 1, 3, 2)
         grad_vh = weights.transpose(0, 1, 3, 2) @ grad_context
         dot = np.sum(grad_weights * weights, axis=-1, keepdims=True)
-        grad_scores = weights * (grad_weights - dot) / np.sqrt(self.head_dim)
+        grad_scores = weights * (grad_weights - dot) / self.scale
         grad_qh = grad_scores @ kh
         grad_kh = grad_scores.transpose(0, 1, 3, 2) @ qh
 

@@ -31,6 +31,31 @@ from repro.nn.layers import (
 )
 
 
+def _decode_positions(cache: Optional[KVCache], batch: int, time: int, max_seq_len: int) -> np.ndarray:
+    """Absolute positions ``(batch, time)`` for a (possibly cached) forward.
+
+    Without a cache every row starts at position 0.  With a cache each row
+    continues from its own cached prefix length — rows may differ (ragged
+    serving batches).  When the cache declares per-row append widths, only
+    the first ``widths[r]`` window positions of row ``r`` are real; the
+    sequence-length check uses those real extents, and the positions of the
+    padded tail slots are clamped into the embedding table's range (their
+    outputs are garbage by construction and ignored by the caller).
+    """
+    if cache is None:
+        if time > max_seq_len:
+            raise ValueError(f"sequence length {time} exceeds max_seq_len {max_seq_len}")
+        return np.broadcast_to(np.arange(time), (batch, time))
+    past = cache.lengths
+    widths = cache.append_widths
+    extents = past + (np.full(batch, time, dtype=np.int64) if widths is None else widths)
+    longest = int(extents.max(initial=0))
+    if longest > max_seq_len:
+        raise ValueError(f"sequence length {longest} exceeds max_seq_len {max_seq_len}")
+    positions = past[:, None] + np.arange(time)[None, :]
+    return np.minimum(positions, max_seq_len - 1)
+
+
 class TransformerBlock(Module):
     """Pre-norm transformer block (self-attention + MLP with residuals)."""
 
@@ -114,10 +139,7 @@ class DecoderOnlyTransformer(Module):
         if token_ids.ndim == 1:
             token_ids = token_ids[None, :]
         batch, time = token_ids.shape
-        past = 0 if cache is None else cache.length
-        if past + time > self.max_seq_len:
-            raise ValueError(f"sequence length {past + time} exceeds max_seq_len {self.max_seq_len}")
-        positions = np.broadcast_to(np.arange(past, past + time), (batch, time))
+        positions = _decode_positions(cache, batch, time, self.max_seq_len)
         x = self.token_embedding.forward(token_ids) + self.position_embedding.forward(positions)
         layer_caches = cache.layers if cache is not None else [None] * len(self.blocks)
         for block, layer_cache in zip(self.blocks, layer_caches):
@@ -211,14 +233,11 @@ class EncoderDecoderTransformer(Module):
         if decoder_ids.ndim == 1:
             decoder_ids = decoder_ids[None, :]
         batch, time = decoder_ids.shape
-        past = 0 if cache is None else cache.length
-        if past + time > self.max_seq_len:
-            raise ValueError(f"sequence length {past + time} exceeds max_seq_len {self.max_seq_len}")
         memory = self._cached_memory
         cross_ready = cache is not None and all(layer.has_cross for layer in cache.layers)
         if memory is None and not cross_ready:
             raise RuntimeError("encode() must be called before forward() without encoder_ids")
-        positions = np.broadcast_to(np.arange(past, past + time), (batch, time))
+        positions = _decode_positions(cache, batch, time, self.max_seq_len)
         x = self.token_embedding.forward(decoder_ids) + self.position_embedding.forward(positions)
         # The decoder embeddings overwrite the encoder's cached activations in
         # the shared embedding layers, so the backward pass re-encodes; we keep

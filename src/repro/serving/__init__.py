@@ -1,0 +1,28 @@
+"""Multi-request serving: continuous batching over the shared KV cache.
+
+The serving subsystem grows the single-stream speculative decoder into a
+throughput-oriented engine:
+
+* :mod:`repro.serving.request` — :class:`GenerationRequest` /
+  :class:`RequestState`, the unit of work and its lifecycle;
+* :mod:`repro.serving.scheduler` — FCFS continuous-batching admission under
+  a token budget (:class:`Scheduler`, :class:`SchedulerConfig`);
+* :mod:`repro.serving.engine` — :class:`ServingEngine`, which steps every
+  in-flight request through one shared batched forward per iteration and is
+  token-identical to sequential :meth:`SpeculativeDecoder.generate`.
+
+See ``docs/serving.md`` for the design discussion.
+"""
+
+from repro.serving.engine import ServingEngine
+from repro.serving.request import GenerationRequest, RequestState, RequestStatus
+from repro.serving.scheduler import Scheduler, SchedulerConfig
+
+__all__ = [
+    "GenerationRequest",
+    "RequestState",
+    "RequestStatus",
+    "Scheduler",
+    "SchedulerConfig",
+    "ServingEngine",
+]

@@ -1,0 +1,417 @@
+"""Continuous-batching serving engine over the shared ragged KV cache.
+
+:class:`ServingEngine` turns the single-stream speculative decoder into a
+multi-request server: many in-flight requests advance through **one shared
+batched forward per iteration**.  Each running request owns one row of a
+shared :class:`~repro.nn.kv_cache.KVCache`; rows sit at different prefix
+lengths (the cache is *ragged*), and every engine step:
+
+1. **admits** queued requests the :class:`~repro.serving.scheduler.Scheduler`
+   lets in, prefilling each prompt once and merging the new row into the
+   shared cache (``KVCache.concat``);
+2. **proposes** speculative candidates per request from the logits held at
+   its last committed position (identical logic to the sequential decoder —
+   the per-step functions are shared via :mod:`repro.core.decoding`);
+3. **verifies** all candidates of all requests in a single batched cached
+   forward: each request's row is tiled once per candidate
+   (``KVCache.repeat_rows``), candidate windows are right-padded to a common
+   width, and per-row ``append_widths`` keep the padding out of the cache;
+4. **commits** each request's best accepted (and, for ``OURS``,
+   fragment-truncated) run, then compacts the cache back to one row per
+   request (``select_rows`` + ``truncate_rows``);
+5. **retires** finished requests, reclaiming their cache rows and freeing
+   scheduler budget so the next step can admit more work.
+
+Because proposal, verification and acceptance reuse the sequential decoder's
+step functions, and because every row of the batched forward computes exactly
+what a batch-1 forward over that row would compute, the engine's outputs are
+token-identical to calling :meth:`SpeculativeDecoder.generate` per prompt —
+``tests/test_serving.py`` asserts this for all three strategies with 8
+concurrent requests.
+
+The engine currently serves decoder-only backbones; encoder-decoder models
+would additionally need ragged cross-attention memories (prompts of different
+lengths) and are rejected at construction.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.acceptance import TypicalAcceptance
+from repro.core.decoding import (
+    DecodeResult,
+    DecodingStrategy,
+    StepRecord,
+    decoder_budget_exceeded,
+    max_step_extra,
+    pad_candidates,
+    propose_candidates,
+    select_best_candidate,
+)
+from repro.models.generation import GenerationConfig, sample_from_logits
+from repro.models.medusa import MedusaLM
+from repro.nn.kv_cache import KVCache
+from repro.serving.request import GenerationRequest, RequestState
+from repro.serving.scheduler import Scheduler, SchedulerConfig
+from repro.tokenizer.bpe import BPETokenizer
+
+
+class ServingEngine:
+    """Serves many generation requests through one shared batched forward per step.
+
+    Args:
+        model: A trained :class:`~repro.models.medusa.MedusaLM` with a
+            decoder-only backbone.
+        tokenizer: The tokenizer the model was trained with.
+        strategy: Decoding regime applied to every request (``NTP`` commits
+            one token per step; ``MEDUSA``/``OURS`` speculate with the extra
+            heads).
+        acceptance: Typical-acceptance rule for sampling runs (defaults to
+            the paper's eq. 1 parameters).
+        num_candidates: Speculative candidates proposed per request per step.
+        max_speculative_heads: Cap on the Medusa heads used for speculation
+            (defaults to all heads the model has).
+        scheduler_config: Admission/fairness knobs; see
+            :class:`~repro.serving.scheduler.SchedulerConfig`.
+    """
+
+    def __init__(
+        self,
+        model: MedusaLM,
+        tokenizer: BPETokenizer,
+        strategy: DecodingStrategy = DecodingStrategy.OURS,
+        acceptance: Optional[TypicalAcceptance] = None,
+        num_candidates: int = 3,
+        max_speculative_heads: Optional[int] = None,
+        scheduler_config: Optional[SchedulerConfig] = None,
+    ) -> None:
+        if model.is_encoder_decoder:
+            raise ValueError(
+                "ServingEngine supports decoder-only backbones; encoder-decoder "
+                "serving needs ragged cross-attention memories (not implemented)"
+            )
+        self.model = model
+        self.tokenizer = tokenizer
+        self.strategy = strategy
+        self.acceptance = acceptance or TypicalAcceptance()
+        self.num_candidates = max(1, num_candidates)
+        self.max_speculative_heads = (
+            model.num_medusa_heads
+            if max_speculative_heads is None
+            else min(max_speculative_heads, model.num_medusa_heads)
+        )
+        self.scheduler = Scheduler(scheduler_config or SchedulerConfig())
+        vocab = tokenizer.vocab
+        self.frag_id = vocab.frag_id
+        self.eos_id = vocab.eos_id
+        self.bos_id = vocab.bos_id
+        self.max_seq_len = model.backbone.max_seq_len
+        #: Shared ragged cache: one row per entry of ``_active`` (same order).
+        self._cache: Optional[KVCache] = None
+        self._active: List[RequestState] = []
+        self._states: Dict[str, RequestState] = {}
+        self._results: Dict[str, DecodeResult] = {}
+        self._next_id = 0
+
+    # ------------------------------------------------------------------ #
+    # Submission and results
+    # ------------------------------------------------------------------ #
+
+    def submit(
+        self,
+        prompt_ids: Sequence[int],
+        config: Optional[GenerationConfig] = None,
+        request_id: Optional[str] = None,
+    ) -> str:
+        """Queue a tokenized prompt for generation; returns the request id."""
+        prompt = list(prompt_ids)
+        if not prompt:
+            raise ValueError("cannot serve an empty prompt")
+        if request_id is None:
+            request_id = f"req-{self._next_id}"
+            self._next_id += 1
+        if request_id in self._states:
+            raise ValueError(f"duplicate request id {request_id!r}")
+        request = GenerationRequest(
+            request_id=request_id,
+            prompt_ids=prompt,
+            config=config or GenerationConfig.greedy_config(),
+        )
+        state = RequestState(request=request, submitted_at=time.perf_counter())
+        self._states[request_id] = state
+        self.scheduler.submit(state)
+        return request_id
+
+    def submit_text(
+        self,
+        prompt: str,
+        config: Optional[GenerationConfig] = None,
+        request_id: Optional[str] = None,
+    ) -> str:
+        """Tokenize ``prompt`` (adding BOS) and queue it for generation."""
+        return self.submit(self.tokenizer.encode(prompt, add_bos=True), config, request_id)
+
+    @property
+    def has_work(self) -> bool:
+        """True while any request is queued or running."""
+        return self.scheduler.has_work
+
+    @property
+    def num_active(self) -> int:
+        return len(self._active)
+
+    def result(self, request_id: str) -> DecodeResult:
+        """Result of a finished request (KeyError while still in flight)."""
+        return self._results[request_id]
+
+    def scheduler_latency(self, request_id: str) -> float:
+        """Submission-to-completion latency of a request, queueing included."""
+        return self._states[request_id].latency_seconds
+
+    def run(self) -> Dict[str, DecodeResult]:
+        """Step until every submitted request has finished; return all results."""
+        while self.has_work:
+            self.step()
+        return dict(self._results)
+
+    # ------------------------------------------------------------------ #
+    # One engine iteration
+    # ------------------------------------------------------------------ #
+
+    def step(self) -> None:
+        """Admit what fits, then advance every running request by one step."""
+        self._admit()
+        if not self._active:
+            return
+        if self.strategy is DecodingStrategy.NTP or self.model.num_medusa_heads == 0:
+            self._step_ntp()
+        else:
+            self._step_speculative()
+
+    # -- admission ------------------------------------------------------ #
+
+    def _admit(self) -> None:
+        """Prefill newly admitted requests and merge their rows into the shared cache."""
+        admitted = self.scheduler.admit()
+        new_caches: List[KVCache] = []
+        for state in admitted:
+            state.started_at = time.perf_counter()
+            prompt = state.request.prompt_ids
+            if decoder_budget_exceeded(len(prompt), 0, 1, self.max_seq_len):
+                # The prompt already fills the context window: finish with an
+                # empty output, exactly like sequential generate.
+                self._finish(state)
+                continue
+            row_cache = self.model.new_cache()
+            prefill_start = time.perf_counter()
+            base_logits, hidden = self.model.forward_hidden(
+                np.asarray([prompt], dtype=np.int64), cache=row_cache
+            )
+            state.last_base = base_logits[0, -1]
+            state.last_heads = [h[0] for h in self.model.head_logits_at(hidden[:, -1])]
+            state.prefill_seconds = time.perf_counter() - prefill_start
+            state.rng = np.random.default_rng(state.request.config.seed)
+            new_caches.append(row_cache)
+            self._active.append(state)
+        if new_caches:
+            existing = [self._cache] if self._cache is not None and self._cache.batch > 0 else []
+            self._cache = KVCache.concat(existing + new_caches)
+
+    # -- NTP: one committed token per request per step ------------------- #
+
+    def _step_ntp(self) -> None:
+        """Batched next-token prediction: sample per request, one shared forward."""
+        continuing: List[RequestState] = []
+        continuing_rows: List[int] = []
+        next_tokens: List[int] = []
+        finished: List[RequestState] = []
+        for row, state in enumerate(self._active):
+            config = state.request.config
+            token = sample_from_logits(state.last_base, config, state.rng)
+            state.output_ids.append(token)
+            state.step_records.append(StepRecord(proposed=1, accepted=1, committed=1, ends_at_boundary=True))
+            if token == self.eos_id:
+                state.stopped_by_eos = True
+            if self._is_done(state):
+                finished.append(state)
+            else:
+                continuing.append(state)
+                continuing_rows.append(row)
+                next_tokens.append(token)
+        if len(continuing) < len(self._active):
+            # Reclaim finished requests' rows even when nothing continues, so
+            # stale rows never leak into the next admission's concat.
+            self._cache.select_rows(continuing_rows)
+        if continuing:
+            tokens = np.asarray(next_tokens, dtype=np.int64)[:, None]
+            base_logits, _ = self.model.forward_hidden(tokens, cache=self._cache)
+            for row, state in enumerate(continuing):
+                state.last_base = base_logits[row, -1]
+        self._active = continuing
+        for state in finished:
+            self._finish(state)
+
+    # -- Medusa / Ours: batched speculative verification ------------------ #
+
+    def _step_speculative(self) -> None:
+        """Propose per request, verify all candidates in one shared forward, commit."""
+        active = self._active
+        prefix_lens = self._cache.lengths
+        all_candidates: List[List[List[int]]] = []
+        request_widths: List[int] = []
+        for state in active:
+            config = state.request.config
+            candidates = propose_candidates(
+                state.last_base,
+                state.last_heads,
+                config,
+                state.rng,
+                num_candidates=self.num_candidates,
+                max_heads=self.max_speculative_heads,
+            )
+            extra = max_step_extra(
+                state.prompt_len, len(state.output_ids), state.remaining_tokens, self.max_seq_len
+            )
+            candidates = [c[:extra] for c in candidates]
+            all_candidates.append(candidates)
+            request_widths.append(max(len(c) for c in candidates))
+
+        # One shared verification forward: tile each request's cache row once
+        # per candidate and right-pad every candidate window to the widest
+        # window in the batch.  Per-row append widths stop each request's
+        # padding (and any window positions past its own context budget) from
+        # entering the cache; padded query slots produce garbage logits that
+        # are never read.
+        window = max(request_widths)
+        counts = [len(candidates) for candidates in all_candidates]
+        batch_rows: List[List[int]] = []
+        for candidates in all_candidates:
+            batch_rows.extend(pad_candidates(candidates, width=window))
+        # The step cache lives only for this one verification forward, so trim
+        # its capacity to what the step can touch instead of allocating (and
+        # zeroing) full max_seq_len buffers every iteration.
+        step_capacity = int(self._cache.length) + window
+        step_cache = self._cache.repeat_rows(counts, capacity=step_capacity)
+        row_widths = np.repeat(np.asarray(request_widths, dtype=np.int64), counts)
+        step_cache.set_append_widths(row_widths)
+        try:
+            base_v, hidden_v = self.model.forward_hidden(
+                np.asarray(batch_rows, dtype=np.int64), cache=step_cache
+            )
+        finally:
+            step_cache.set_append_widths(None)
+
+        # Per request: score candidates, commit the best run, pick the row
+        # and committed length the cache compaction keeps.
+        # One vectorised argmax over every row and window position serves the
+        # greedy verification of all requests at once (skipped when the whole
+        # batch is sampling and nothing would read it).
+        any_greedy = any(
+            state.request.config.greedy or state.request.config.temperature <= 0.0 for state in active
+        )
+        argmax_v = np.argmax(base_v, axis=-1) if any_greedy else None
+        keep_rows: List[int] = []
+        committed_lengths: List[int] = []
+        committed_positions: List[int] = []
+        offset = 0
+        for index, state in enumerate(active):
+            candidates = all_candidates[index]
+            config = state.request.config
+            # Logits predicting candidate token i live at window position
+            # i-1; token 0's predictor is the held last-position logits.
+            if config.greedy or config.temperature <= 0.0:
+                greedy_argmax = [
+                    argmax_v[offset + row, : len(candidate) - 1] for row, candidate in enumerate(candidates)
+                ]
+                logits_lists = None
+            else:
+                greedy_argmax = None
+                logits_lists = [
+                    [state.last_base] + [base_v[offset + row, i - 1] for i in range(1, len(candidate))]
+                    for row, candidate in enumerate(candidates)
+                ]
+            best_tokens, best_accepted, best_row = select_best_candidate(
+                candidates,
+                logits_lists,
+                config,
+                acceptance=self.acceptance,
+                strategy=self.strategy,
+                frag_id=self.frag_id,
+                eos_id=self.eos_id,
+                greedy_argmax=greedy_argmax,
+            )
+            committed = len(best_tokens)
+            state.output_ids.extend(best_tokens)
+            state.step_records.append(
+                StepRecord(
+                    proposed=len(candidates[0]),
+                    accepted=best_accepted,
+                    committed=committed,
+                    ends_at_boundary=best_tokens[-1] in (self.frag_id, self.eos_id),
+                )
+            )
+            if self.eos_id in best_tokens:
+                state.stopped_by_eos = True
+            # The verification forward already produced the logits/hidden at
+            # the last committed position — they seed the next step's proposal.
+            state.last_base = base_v[offset + best_row, committed - 1]
+            keep_rows.append(offset + best_row)
+            committed_lengths.append(int(prefix_lens[index]) + committed)
+            committed_positions.append(committed - 1)
+            offset += len(candidates)
+
+        # One batched Medusa-head evaluation at each request's last committed
+        # position (the only place head logits are ever read).
+        last_hidden = hidden_v[keep_rows, committed_positions]
+        head_logits = self.model.head_logits_at(last_hidden)
+        for index, state in enumerate(active):
+            state.last_heads = [h[index] for h in head_logits]
+
+        # Compact: accepted candidate row per request, rolled back to its
+        # committed prefix (one fused copy); then reclaim the rows of
+        # finished requests.
+        self._cache = step_cache.compact_rows(keep_rows, committed_lengths)
+        self._retire_finished()
+
+    # -- completion ------------------------------------------------------ #
+
+    def _is_done(self, state: RequestState) -> bool:
+        """Mirror of the sequential decoder's loop-exit conditions."""
+        return (
+            state.stopped_by_eos
+            or state.remaining_tokens <= 0
+            or decoder_budget_exceeded(state.prompt_len, len(state.output_ids), 1, self.max_seq_len)
+        )
+
+    def _retire_finished(self) -> None:
+        """Drop finished requests from the active set and reclaim their cache rows."""
+        survivors: List[RequestState] = []
+        survivor_rows: List[int] = []
+        finished: List[RequestState] = []
+        for row, state in enumerate(self._active):
+            if self._is_done(state):
+                finished.append(state)
+            else:
+                survivors.append(state)
+                survivor_rows.append(row)
+        if finished:
+            self._cache.select_rows(survivor_rows)
+            self._active = survivors
+            for state in finished:
+                self._finish(state)
+
+    def _finish(self, state: RequestState) -> None:
+        """Release the request from the scheduler and freeze its result."""
+        state.finished_at = time.perf_counter()
+        self.scheduler.release(state)
+        text = self.tokenizer.decode(state.output_ids, keep_frag=True)
+        code = self.tokenizer.decode(state.output_ids, keep_frag=False)
+        self._results[state.request.request_id] = state.to_result(text, code)
+        # Drop the held logits so finished requests don't pin vocab-width
+        # arrays for the engine's lifetime.
+        state.last_base = None
+        state.last_heads = []

@@ -1,0 +1,117 @@
+"""Request model for the multi-request serving engine.
+
+A :class:`GenerationRequest` is the immutable description of one generation
+job (prompt, per-request :class:`~repro.models.generation.GenerationConfig`).
+The engine wraps each submitted request in a mutable :class:`RequestState`
+that accumulates output tokens, per-step records and timing while the request
+moves through the :class:`~repro.serving.scheduler.Scheduler` states:
+
+``QUEUED`` (waiting for admission) → ``RUNNING`` (owns a row of the shared
+KV cache) → ``FINISHED`` (result available).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.decoding import DecodeResult, StepRecord
+from repro.models.generation import GenerationConfig
+
+
+class RequestStatus(enum.Enum):
+    """Lifecycle of a request inside the serving engine."""
+
+    QUEUED = "queued"
+    RUNNING = "running"
+    FINISHED = "finished"
+
+
+@dataclass
+class GenerationRequest:
+    """One generation job submitted to the serving engine.
+
+    Attributes:
+        request_id: Caller-visible identifier (engine-assigned if omitted at
+            submission).
+        prompt_ids: Tokenized prompt (BOS included, as produced by
+            ``tokenizer.encode(..., add_bos=True)``).
+        config: Per-request decoding configuration; requests in the same
+            batch may use different budgets, temperatures and seeds.
+    """
+
+    request_id: str
+    prompt_ids: List[int]
+    config: GenerationConfig = field(default_factory=GenerationConfig.greedy_config)
+
+    @property
+    def footprint_tokens(self) -> int:
+        """Worst-case context-window footprint used for budget admission."""
+        return len(self.prompt_ids) + self.config.max_new_tokens
+
+
+@dataclass
+class RequestState:
+    """Mutable per-request state tracked by the engine.
+
+    The held ``last_base``/``last_heads`` logits are the engine's analogue of
+    the single-stream decoder's loop variables: the base/head logits at the
+    request's last committed position, produced by the previous shared
+    forward (or the prefill) and consumed by the next proposal.
+    """
+
+    request: GenerationRequest
+    status: RequestStatus = RequestStatus.QUEUED
+    output_ids: List[int] = field(default_factory=list)
+    step_records: List[StepRecord] = field(default_factory=list)
+    stopped_by_eos: bool = False
+    #: Wall-clock timestamps (``time.perf_counter``): queue entry, admission
+    #: (prefill start) and completion.
+    submitted_at: float = 0.0
+    started_at: float = 0.0
+    finished_at: float = 0.0
+    prefill_seconds: float = 0.0
+    #: Base-head logits at the last committed position (``(V,)``).
+    last_base: Optional[np.ndarray] = None
+    #: Medusa-head logits at the last committed position.
+    last_heads: List[np.ndarray] = field(default_factory=list)
+    #: Per-request random generator, seeded from ``config.seed`` exactly like
+    #: the sequential decoder so sampling runs are reproducible.
+    rng: Optional[np.random.Generator] = None
+
+    @property
+    def prompt_len(self) -> int:
+        return len(self.request.prompt_ids)
+
+    @property
+    def remaining_tokens(self) -> int:
+        """New-token budget left before ``config.max_new_tokens`` is reached."""
+        return self.request.config.max_new_tokens - len(self.output_ids)
+
+    @property
+    def latency_seconds(self) -> float:
+        """Submission-to-completion latency (includes queueing delay)."""
+        return max(self.finished_at - self.submitted_at, 0.0)
+
+    def to_result(self, text: str, code: str) -> DecodeResult:
+        """Freeze this request into the same result type sequential decoding returns.
+
+        ``wall_time_seconds`` covers admission to completion (prefill +
+        decode, excluding queueing) so per-token rates stay comparable with
+        :meth:`SpeculativeDecoder.generate`; queueing delay is reported
+        separately via :attr:`latency_seconds`.
+        """
+        return DecodeResult(
+            token_ids=list(self.output_ids),
+            text=text,
+            code=code,
+            steps=len(self.step_records),
+            tokens_generated=len(self.output_ids),
+            wall_time_seconds=max(self.finished_at - self.started_at, 0.0),
+            step_records=list(self.step_records),
+            stopped_by_eos=self.stopped_by_eos,
+            prefill_seconds=self.prefill_seconds,
+        )

@@ -1,0 +1,111 @@
+"""Continuous-batching scheduler: admission and eviction under a token budget.
+
+The scheduler decides *which* requests occupy rows of the shared KV cache;
+the :class:`~repro.serving.engine.ServingEngine` decides *what* happens to
+the occupants each step.  The policy is deliberately simple and fair:
+
+* **FCFS admission** — requests are admitted strictly in submission order;
+  a large request at the head of the queue is never overtaken by a smaller
+  one behind it (no starvation).
+* **Token-budget cap** — each request's worst-case context footprint
+  (``prompt_len + max_new_tokens``) is charged against
+  ``max_batch_tokens`` while it is running, bounding the shared cache's
+  memory and the width of the batched forward.
+* **Concurrency cap** — at most ``max_active_requests`` rows run at once.
+* **Progress guarantee** — when nothing is running, the head-of-queue
+  request is admitted even if it alone exceeds the token budget; otherwise
+  an oversized request would deadlock the queue.
+
+Eviction is cooperative: the engine calls :meth:`Scheduler.release` when a
+request finishes (EOS, token budget, or context-window exhaustion), freeing
+its budget so queued requests can be admitted at the next step boundary —
+this is what makes the batching *continuous* rather than static.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, List
+
+from repro.serving.request import RequestState, RequestStatus
+
+
+@dataclass
+class SchedulerConfig:
+    """Fairness/budget knobs of the continuous-batching scheduler.
+
+    Attributes:
+        max_active_requests: Upper bound on concurrently running requests
+            (rows of the shared KV cache).
+        max_batch_tokens: Upper bound on the summed worst-case footprints
+            (``prompt_len + max_new_tokens``) of running requests.
+    """
+
+    max_active_requests: int = 8
+    max_batch_tokens: int = 4096
+
+
+@dataclass
+class Scheduler:
+    """FCFS continuous-batching scheduler with a token-budget admission gate."""
+
+    config: SchedulerConfig = field(default_factory=SchedulerConfig)
+    waiting: Deque[RequestState] = field(default_factory=deque)
+    running: List[RequestState] = field(default_factory=list)
+
+    # -- inspection ----------------------------------------------------------
+
+    @property
+    def num_waiting(self) -> int:
+        return len(self.waiting)
+
+    @property
+    def num_running(self) -> int:
+        return len(self.running)
+
+    @property
+    def tokens_in_flight(self) -> int:
+        """Summed worst-case footprints of the currently running requests."""
+        return sum(state.request.footprint_tokens for state in self.running)
+
+    @property
+    def has_work(self) -> bool:
+        return bool(self.waiting or self.running)
+
+    # -- transitions ---------------------------------------------------------
+
+    def submit(self, state: RequestState) -> None:
+        """Append a request to the FCFS queue."""
+        state.status = RequestStatus.QUEUED
+        self.waiting.append(state)
+
+    def admit(self) -> List[RequestState]:
+        """Pop queued requests that fit the concurrency and token budgets.
+
+        Admission is strictly in submission order and stops at the first
+        request that does not fit, so later small requests cannot starve an
+        earlier large one.  If nothing is running, the head request is
+        admitted unconditionally (progress guarantee).
+        """
+        admitted: List[RequestState] = []
+        tokens = self.tokens_in_flight
+        while self.waiting:
+            head = self.waiting[0]
+            active = len(self.running)
+            if active >= self.config.max_active_requests:
+                break
+            fits = tokens + head.request.footprint_tokens <= self.config.max_batch_tokens
+            if not fits and active > 0:
+                break
+            self.waiting.popleft()
+            head.status = RequestStatus.RUNNING
+            self.running.append(head)
+            admitted.append(head)
+            tokens += head.request.footprint_tokens
+        return admitted
+
+    def release(self, state: RequestState) -> None:
+        """Evict a finished request, freeing its token budget and cache row."""
+        state.status = RequestStatus.FINISHED
+        self.running.remove(state)

@@ -94,6 +94,176 @@ class TestKVCacheOps:
         with pytest.raises(IndexError):
             cache.keep_row(4)
 
+    # -- edge cases not exercised by the decoding loops ----------------------
+
+    def test_truncate_to_zero_then_reuse(self):
+        cache = self._cache()
+        k = np.ones((1, 4, 5, 8), dtype=np.float32)
+        for layer in cache.layers:
+            layer.append(k, k)
+        cache.truncate(0)
+        assert cache.length == 0
+        assert cache.lengths.tolist() == [0]
+        # The cache is reusable after a full rollback.
+        fresh = np.full((1, 4, 2, 8), 3.0, dtype=np.float32)
+        full_k, _ = cache.layers[0].append(fresh, fresh)
+        assert full_k.shape[2] == 2
+        assert np.all(full_k == 3.0)
+
+    def test_expand_batch_after_truncate(self):
+        cache = self._cache()
+        k = np.arange(1 * 4 * 6 * 8, dtype=np.float32).reshape(1, 4, 6, 8)
+        for layer in cache.layers:
+            layer.append(k, k)
+        cache.truncate(3)
+        cache.expand_batch(4)
+        assert cache.batch == 4
+        assert cache.lengths.tolist() == [3, 3, 3, 3]
+        for row in range(4):
+            np.testing.assert_array_equal(cache.layers[0].k[row, :, :3], k[0, :, :3])
+
+    def test_keep_row_on_batch_one_is_identity(self):
+        cache = self._cache()
+        k = np.full((1, 4, 3, 8), 5.0, dtype=np.float32)
+        for layer in cache.layers:
+            layer.append(k, k)
+        cache.keep_row(0)
+        assert cache.batch == 1
+        assert cache.length == 3
+        assert np.all(cache.layers[0].k[0, :, :3] == 5.0)
+
+    def test_expand_batch_noop_when_already_that_batch(self):
+        cache = self._cache()
+        cache.expand_batch(1)
+        assert cache.batch == 1
+
+
+class TestRaggedServingOps:
+    """Multi-request (ragged) cache operations used by the serving engine."""
+
+    def _cache(self, batch=1, capacity=16) -> KVCache:
+        return KVCache(num_layers=2, num_heads=4, head_dim=8, capacity=capacity, batch=batch)
+
+    def _filled(self, fill: float, positions: int, batch=1) -> KVCache:
+        cache = self._cache(batch=batch)
+        block = np.full((batch, 4, positions, 8), fill, dtype=np.float32)
+        for layer in cache.layers:
+            layer.append(block, block)
+        return cache
+
+    def test_concat_preserves_per_row_lengths(self):
+        a = self._filled(1.0, positions=2)
+        b = self._filled(2.0, positions=5)
+        merged = KVCache.concat([a, b])
+        assert merged.batch == 2
+        assert merged.lengths.tolist() == [2, 5]
+        assert np.all(merged.layers[0].k[0, :, :2] == 1.0)
+        assert np.all(merged.layers[1].k[1, :, :5] == 2.0)
+        # Region past a short row's own length is zero (finite), never garbage.
+        assert np.all(merged.layers[0].k[0, :, 2:5] == 0.0)
+
+    def test_concat_rejects_mismatched_geometry(self):
+        a = self._cache()
+        other = KVCache(num_layers=2, num_heads=2, head_dim=8, capacity=16)
+        with pytest.raises(ValueError, match="geometry"):
+            KVCache.concat([a, other])
+        with pytest.raises(ValueError, match="at least one"):
+            KVCache.concat([])
+
+    def test_concat_rejects_mixed_cross_attention(self):
+        with_cross = self._cache()
+        cross = np.ones((1, 4, 3, 8), dtype=np.float32)
+        for layer in with_cross.layers:
+            layer.set_cross(cross, cross)
+        without_cross = self._cache()
+        with pytest.raises(ValueError, match="cross-attention"):
+            KVCache.concat([with_cross, without_cross])
+
+    def test_ragged_append_lands_at_per_row_offsets(self):
+        merged = KVCache.concat([self._filled(1.0, 2), self._filled(2.0, 4)])
+        step = np.full((2, 4, 1, 8), 9.0, dtype=np.float32)
+        full_k, _ = merged.layers[0].append(step, step)
+        assert merged.layers[0].lengths.tolist() == [3, 5]
+        assert np.all(merged.layers[0].k[0, :, 2] == 9.0)
+        assert np.all(merged.layers[0].k[1, :, 4] == 9.0)
+        # The returned view spans the longest row.
+        assert full_k.shape[2] == 5
+
+    def test_append_widths_keep_padding_out(self):
+        merged = KVCache.concat([self._filled(1.0, 2), self._filled(2.0, 4)])
+        window = np.full((2, 4, 3, 8), 9.0, dtype=np.float32)
+        merged.set_append_widths([1, 3])
+        try:
+            merged.layers[0].append(window, window)
+        finally:
+            merged.set_append_widths(None)
+        assert merged.layers[0].lengths.tolist() == [3, 7]
+        assert np.all(merged.layers[0].k[0, :, 2] == 9.0)
+        # Row 0's padded window positions were not stored.
+        assert np.all(merged.layers[0].k[0, :, 3:5] == 0.0)
+
+    def test_repeat_rows_interleaves_per_row_counts(self):
+        merged = KVCache.concat([self._filled(1.0, 2), self._filled(2.0, 4)])
+        tiled = merged.repeat_rows([2, 3])
+        assert tiled.batch == 5
+        assert tiled.lengths.tolist() == [2, 2, 4, 4, 4]
+        assert np.all(tiled.layers[0].k[1, :, :2] == 1.0)
+        assert np.all(tiled.layers[0].k[2, :, :4] == 2.0)
+        # Source is untouched.
+        assert merged.batch == 2
+
+    def test_repeat_rows_trimmed_capacity(self):
+        merged = KVCache.concat([self._filled(1.0, 2), self._filled(2.0, 4)])
+        tiled = merged.repeat_rows(2, capacity=6)
+        assert tiled.capacity == 6
+        assert tiled.layers[0].k.shape[2] == 6
+        with pytest.raises(ValueError, match="capacity"):
+            merged.repeat_rows(2, capacity=3)  # below the longest row
+
+    def test_select_rows_gathers_and_drops(self):
+        merged = KVCache.concat([self._filled(1.0, 2), self._filled(2.0, 3), self._filled(3.0, 4)])
+        merged.select_rows([2, 0])
+        assert merged.batch == 2
+        assert merged.lengths.tolist() == [4, 2]
+        assert np.all(merged.layers[0].k[0, :, :4] == 3.0)
+        assert np.all(merged.layers[0].k[1, :, :2] == 1.0)
+        with pytest.raises(IndexError):
+            merged.select_rows([5])
+
+    def test_select_rows_to_empty(self):
+        merged = KVCache.concat([self._filled(1.0, 2)])
+        merged.select_rows([])
+        assert merged.batch == 0
+        assert merged.length == 0
+
+    def test_truncate_rows_per_row(self):
+        merged = KVCache.concat([self._filled(1.0, 4), self._filled(2.0, 6)])
+        merged.truncate_rows([2, 5])
+        assert merged.lengths.tolist() == [2, 5]
+        merged.truncate_rows([10, 1])  # beyond current length: per-row no-op
+        assert merged.lengths.tolist() == [2, 1]
+        with pytest.raises(ValueError):
+            merged.truncate_rows([1])  # wrong shape
+        with pytest.raises(ValueError):
+            merged.truncate_rows([-1, 0])
+
+    def test_compact_rows_fuses_gather_and_truncate(self):
+        merged = KVCache.concat([self._filled(1.0, 3), self._filled(2.0, 5)])
+        tiled = merged.repeat_rows(2)  # rows: [0,0,1,1]
+        compacted = tiled.compact_rows([1, 3], [2, 4])
+        assert compacted.batch == 2
+        assert compacted.lengths.tolist() == [2, 4]
+        assert np.all(compacted.layers[0].k[0, :, :2] == 1.0)
+        assert np.all(compacted.layers[0].k[1, :, :4] == 2.0)
+        with pytest.raises(IndexError):
+            tiled.compact_rows([9], [1])
+
+    def test_overflow_respects_per_row_lengths(self):
+        merged = KVCache.concat([self._filled(1.0, 2), self._filled(2.0, 15)])
+        step = np.full((2, 4, 2, 8), 9.0, dtype=np.float32)
+        with pytest.raises(ValueError, match="overflow"):
+            merged.layers[0].append(step, step)  # row 1 would exceed capacity 16
+
 
 class TestIncrementalEquivalence:
     """Cached incremental logits must equal full-recompute logits."""

@@ -155,6 +155,17 @@ class TestGeneration:
         samples = [sample_from_logits(logits, config, rng) for _ in range(25)]
         assert samples.count(0) >= 24
 
+    def test_sampling_top_k_exceeding_vocab_is_clamped(self):
+        """Regression: top_k > V used to raise ValueError from np.argpartition."""
+        logits = np.array([2.0, 1.0, 0.5])
+        config = GenerationConfig(max_new_tokens=1, temperature=1.0, greedy=False, top_k=10, seed=0)
+        rng = np.random.default_rng(0)
+        token = sample_from_logits(logits, config, rng)
+        assert token in (0, 1, 2)
+        # top_k == V is also a no-op truncation, not an error.
+        config_eq = GenerationConfig(max_new_tokens=1, temperature=1.0, greedy=False, top_k=3, seed=0)
+        assert sample_from_logits(logits, config_eq, np.random.default_rng(0)) == token
+
     def test_top_k_token_ids_sorted(self):
         logits = np.array([0.5, 3.0, 2.0, -1.0])
         np.testing.assert_array_equal(top_k_token_ids(logits, 3), [1, 2, 0])

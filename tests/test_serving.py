@@ -1,0 +1,275 @@
+"""Tests for the continuous-batching serving subsystem.
+
+The engine's core guarantee — batched serving commits exactly the token
+sequences sequential ``generate`` commits — is asserted for all three
+decoding strategies at 8 concurrent requests, under greedy decoding and
+temperature sampling, and with constrained concurrency (so admission happens
+mid-flight).  Scheduler admission/eviction ordering is tested in isolation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.decoding import DecodingStrategy
+from repro.models.generation import GenerationConfig
+from repro.serving import (
+    GenerationRequest,
+    RequestState,
+    RequestStatus,
+    Scheduler,
+    SchedulerConfig,
+    ServingEngine,
+)
+
+METHODS = [
+    ("ntp", DecodingStrategy.NTP),
+    ("medusa", DecodingStrategy.MEDUSA),
+    ("ours", DecodingStrategy.OURS),
+]
+
+
+def _prompts(pipeline, count):
+    prompts = [example.prompt_text() for example in pipeline.examples]
+    return (prompts * (count // max(len(prompts), 1) + 1))[:count]
+
+
+def _engine(pipeline, method, strategy, **scheduler_kwargs):
+    return ServingEngine(
+        pipeline.models[method],
+        pipeline.tokenizer,
+        strategy=strategy,
+        scheduler_config=SchedulerConfig(**scheduler_kwargs) if scheduler_kwargs else None,
+    )
+
+
+class TestServingEquivalence:
+    """Batched outputs must be token-identical to sequential generate."""
+
+    @pytest.mark.parametrize("method,strategy", METHODS)
+    def test_eight_concurrent_greedy(self, tiny_pipeline, method, strategy):
+        prompts = _prompts(tiny_pipeline, 8)
+        config = GenerationConfig.greedy_config(24)
+        decoder = tiny_pipeline.decoder_for(method)
+        sequential = [decoder.generate_from_text(prompt, config) for prompt in prompts]
+
+        engine = _engine(tiny_pipeline, method, strategy, max_active_requests=8)
+        request_ids = [engine.submit_text(prompt, config) for prompt in prompts]
+        results = engine.run()
+
+        for request_id, expected in zip(request_ids, sequential):
+            assert results[request_id].token_ids == expected.token_ids
+            assert results[request_id].text == expected.text
+            assert results[request_id].stopped_by_eos == expected.stopped_by_eos
+            assert results[request_id].steps == expected.steps
+
+    @pytest.mark.parametrize("method,strategy", METHODS)
+    def test_eight_concurrent_sampling(self, tiny_pipeline, method, strategy):
+        prompts = _prompts(tiny_pipeline, 8)
+        decoder = tiny_pipeline.decoder_for(method)
+        configs = [GenerationConfig.sampling_config(0.8, 20, seed=i) for i in range(len(prompts))]
+        sequential = [decoder.generate_from_text(p, c) for p, c in zip(prompts, configs)]
+
+        engine = _engine(tiny_pipeline, method, strategy, max_active_requests=8)
+        request_ids = [engine.submit_text(p, c) for p, c in zip(prompts, configs)]
+        results = engine.run()
+
+        for request_id, expected in zip(request_ids, sequential):
+            assert results[request_id].token_ids == expected.token_ids
+
+    @pytest.mark.parametrize("method,strategy", METHODS)
+    def test_constrained_concurrency_continuous_admission(self, tiny_pipeline, method, strategy):
+        """With max_active=2 the engine admits mid-flight; outputs are unchanged."""
+        prompts = _prompts(tiny_pipeline, 5)
+        config = GenerationConfig.greedy_config(16)
+        decoder = tiny_pipeline.decoder_for(method)
+        sequential = [decoder.generate_from_text(prompt, config) for prompt in prompts]
+
+        engine = _engine(tiny_pipeline, method, strategy, max_active_requests=2)
+        request_ids = [engine.submit_text(prompt, config) for prompt in prompts]
+        results = engine.run()
+
+        for request_id, expected in zip(request_ids, sequential):
+            assert results[request_id].token_ids == expected.token_ids
+
+    def test_mixed_budgets_per_request(self, tiny_pipeline):
+        """Requests with different max_new_tokens finish independently."""
+        prompts = _prompts(tiny_pipeline, 4)
+        budgets = [4, 9, 16, 25]
+        decoder = tiny_pipeline.decoder_for("ours")
+        sequential = [
+            decoder.generate_from_text(p, GenerationConfig.greedy_config(b)) for p, b in zip(prompts, budgets)
+        ]
+
+        engine = _engine(tiny_pipeline, "ours", DecodingStrategy.OURS, max_active_requests=4)
+        request_ids = [
+            engine.submit_text(p, GenerationConfig.greedy_config(b)) for p, b in zip(prompts, budgets)
+        ]
+        results = engine.run()
+        for request_id, expected, budget in zip(request_ids, sequential, budgets):
+            assert results[request_id].token_ids == expected.token_ids
+            assert results[request_id].tokens_generated <= budget
+
+
+class TestServingEngineBehaviour:
+    def test_rejects_encoder_decoder_models(self, tiny_pipeline):
+        from repro.models.encdec_lm import EncDecConfig, TinyCodeT5p
+        from repro.models.medusa import MedusaLM
+
+        backbone = TinyCodeT5p(
+            EncDecConfig(vocab_size=64, dim=32, num_encoder_layers=1, num_decoder_layers=1, num_heads=2, max_seq_len=64)
+        )
+        model = MedusaLM(backbone, vocab_size=64, num_medusa_heads=2)
+        with pytest.raises(ValueError, match="decoder-only"):
+            ServingEngine(model, tiny_pipeline.tokenizer)
+
+    def test_rejects_empty_prompt_and_duplicate_ids(self, tiny_pipeline):
+        engine = _engine(tiny_pipeline, "ours", DecodingStrategy.OURS)
+        with pytest.raises(ValueError, match="empty"):
+            engine.submit([])
+        engine.submit([1, 2, 3], request_id="dup")
+        with pytest.raises(ValueError, match="duplicate"):
+            engine.submit([1, 2, 3], request_id="dup")
+
+    def test_overlong_prompt_finishes_empty(self, tiny_pipeline):
+        """A prompt that fills the context window returns an empty result,
+        exactly like sequential generate."""
+        max_seq_len = tiny_pipeline.models["ours"].backbone.max_seq_len
+        prompt = [2] * max_seq_len
+        decoder = tiny_pipeline.decoder_for("ours")
+        expected = decoder.generate(prompt, GenerationConfig.greedy_config(8))
+        assert expected.token_ids == []
+
+        engine = _engine(tiny_pipeline, "ours", DecodingStrategy.OURS)
+        request_id = engine.submit(prompt, GenerationConfig.greedy_config(8))
+        results = engine.run()
+        assert results[request_id].token_ids == []
+        assert not engine.has_work
+
+    def test_results_and_latency_accessors(self, tiny_pipeline):
+        engine = _engine(tiny_pipeline, "ntp", DecodingStrategy.NTP)
+        request_id = engine.submit_text("module m", GenerationConfig.greedy_config(4))
+        with pytest.raises(KeyError):
+            engine.result(request_id)
+        engine.run()
+        assert engine.result(request_id).tokens_generated <= 4
+        assert engine.scheduler_latency(request_id) >= 0.0
+
+
+def _state(request_id: str, prompt_len: int, max_new: int) -> RequestState:
+    request = GenerationRequest(
+        request_id=request_id,
+        prompt_ids=list(range(prompt_len)),
+        config=GenerationConfig.greedy_config(max_new),
+    )
+    return RequestState(request=request)
+
+
+class TestScheduler:
+    def test_fcfs_admission_order(self):
+        scheduler = Scheduler(SchedulerConfig(max_active_requests=2, max_batch_tokens=1000))
+        for name in ("a", "b", "c"):
+            scheduler.submit(_state(name, prompt_len=10, max_new=10))
+        admitted = scheduler.admit()
+        assert [s.request.request_id for s in admitted] == ["a", "b"]
+        assert scheduler.num_waiting == 1
+        assert all(s.status is RequestStatus.RUNNING for s in admitted)
+
+    def test_token_budget_blocks_admission(self):
+        scheduler = Scheduler(SchedulerConfig(max_active_requests=8, max_batch_tokens=50))
+        scheduler.submit(_state("big", prompt_len=20, max_new=20))   # footprint 40
+        scheduler.submit(_state("small", prompt_len=5, max_new=10))  # footprint 15
+        admitted = scheduler.admit()
+        # "small" would fit the leftover budget but must NOT overtake FCFS order.
+        assert [s.request.request_id for s in admitted] == ["big"]
+        assert scheduler.tokens_in_flight == 40
+        assert scheduler.num_waiting == 1
+
+    def test_release_frees_budget_for_next_in_line(self):
+        scheduler = Scheduler(SchedulerConfig(max_active_requests=8, max_batch_tokens=50))
+        first = _state("first", prompt_len=20, max_new=20)
+        scheduler.submit(first)
+        scheduler.submit(_state("second", prompt_len=20, max_new=20))
+        assert [s.request.request_id for s in scheduler.admit()] == ["first"]
+        assert scheduler.admit() == []  # budget exhausted
+        scheduler.release(first)
+        assert first.status is RequestStatus.FINISHED
+        assert [s.request.request_id for s in scheduler.admit()] == ["second"]
+
+    def test_oversized_head_admitted_when_idle(self):
+        """Progress guarantee: an over-budget request runs when nothing else does."""
+        scheduler = Scheduler(SchedulerConfig(max_active_requests=4, max_batch_tokens=10))
+        scheduler.submit(_state("huge", prompt_len=100, max_new=100))
+        admitted = scheduler.admit()
+        assert [s.request.request_id for s in admitted] == ["huge"]
+        # ... but it blocks everything behind it until released.
+        scheduler.submit(_state("next", prompt_len=1, max_new=1))
+        assert scheduler.admit() == []
+
+    def test_concurrency_cap(self):
+        scheduler = Scheduler(SchedulerConfig(max_active_requests=3, max_batch_tokens=10_000))
+        for index in range(5):
+            scheduler.submit(_state(f"r{index}", prompt_len=1, max_new=1))
+        assert len(scheduler.admit()) == 3
+        assert scheduler.num_running == 3
+        assert scheduler.num_waiting == 2
+
+
+class TestServingStats:
+    def test_step_records_match_sequential(self, tiny_pipeline):
+        """Per-step bookkeeping (proposed/accepted/committed) matches too."""
+        prompts = _prompts(tiny_pipeline, 3)
+        config = GenerationConfig.greedy_config(16)
+        decoder = tiny_pipeline.decoder_for("ours")
+        sequential = [decoder.generate_from_text(prompt, config) for prompt in prompts]
+
+        engine = _engine(tiny_pipeline, "ours", DecodingStrategy.OURS, max_active_requests=3)
+        request_ids = [engine.submit_text(prompt, config) for prompt in prompts]
+        results = engine.run()
+        for request_id, expected in zip(request_ids, sequential):
+            got = results[request_id].step_records
+            assert [(r.proposed, r.accepted, r.committed) for r in got] == [
+                (r.proposed, r.accepted, r.committed) for r in expected.step_records
+            ]
+
+    def test_prefill_time_recorded(self, tiny_pipeline):
+        engine = _engine(tiny_pipeline, "ours", DecodingStrategy.OURS)
+        request_id = engine.submit_text("module adder", GenerationConfig.greedy_config(4))
+        results = engine.run()
+        assert results[request_id].prefill_seconds > 0.0
+        assert results[request_id].wall_time_seconds >= results[request_id].prefill_seconds
+
+
+class TestRaggedBatchedForward:
+    """The shared forward must treat each ragged row like its own batch-1 run."""
+
+    def test_ragged_rows_match_isolated_forwards(self, tiny_pipeline):
+        model = tiny_pipeline.models["ntp"]
+        tokenizer = tiny_pipeline.tokenizer
+        from repro.nn.kv_cache import KVCache
+
+        prompts = [
+            tokenizer.encode("module a", add_bos=True),
+            tokenizer.encode("module bigger_block (input clk)", add_bos=True),
+        ]
+        # Isolated: prefill each prompt in its own cache, then step one token.
+        isolated = []
+        caches = []
+        for ids in prompts:
+            cache = model.new_cache()
+            base, _ = model.forward_hidden(np.asarray([ids], dtype=np.int64), cache=cache)
+            isolated.append(base[0, -1])
+            caches.append(cache)
+        merged = KVCache.concat(caches)
+        assert merged.batch == 2
+        assert merged.lengths.tolist() == [len(prompts[0]), len(prompts[1])]
+
+        step_tokens = np.asarray([[5], [7]], dtype=np.int64)
+        batched_base, _ = model.forward_hidden(step_tokens, cache=merged)
+
+        for row, (ids, token) in enumerate(zip(prompts, step_tokens[:, 0])):
+            cache = model.new_cache()
+            model.forward_hidden(np.asarray([ids], dtype=np.int64), cache=cache)
+            single_base, _ = model.forward_hidden(np.asarray([[token]], dtype=np.int64), cache=cache)
+            np.testing.assert_allclose(batched_base[row, -1], single_base[0, -1], atol=1e-5)
