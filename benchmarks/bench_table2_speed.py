@@ -18,6 +18,13 @@ full-recompute path for every method: both must commit identical token
 sequences, and the cached path must be at least 2x faster at the default
 bench sizes (the whole point of the cache refactor).
 
+A third table compares token-tree candidate verification
+(``GenerationConfig.tree_verify``) against the row-batched layout for the
+speculative methods: both must commit identical token sequences, and the
+tree must verify strictly fewer positions per run — candidates of the
+default Medusa candidate set always share at least the committed base token,
+which the tree verifies once instead of once per candidate.
+
 Expected shape: Ours > Medusa > NTP on tokens/step, with Ours and Medusa both
 well above 1 token/step and NTP exactly 1.
 """
@@ -26,7 +33,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.evalbench.speed import compare_cache_modes, measure_speed, speedup
+from repro.evalbench.speed import compare_cache_modes, compare_tree_modes, measure_speed, speedup
 from repro.models.generation import GenerationConfig
 
 from conftest import SMOKE, SPEED_PROMPTS, emit_bench_json
@@ -89,6 +96,33 @@ def test_table2_generation_speed(benchmark, trained_pipeline, rtllm_subset, vgen
             f"{comparison.wall_clock_speedup:>14.2f} {str(comparison.tokens_identical):>10}"
         )
 
+    # Token-tree vs. row-batched verification: the verify-FLOP win of the
+    # deduplicated candidate tree (speculative methods only; NTP verifies
+    # nothing).
+    tree_comparisons = {}
+    for method in ("ours", "medusa"):
+        tree_comparisons[method] = compare_tree_modes(
+            trained_pipeline.decoder_for(method),
+            comparison_prompts,
+            max_new_tokens=max_new_tokens,
+            label=method,
+        )
+
+    print("\n=== Token-tree vs. row-batched candidate verification ===")
+    header = (
+        f"{'method':<8} {'tree verified':>14} {'row verified':>13} {'ratio':>7} "
+        f"{'tree tok/s':>11} {'row tok/s':>10} {'identical':>10}"
+    )
+    print(header)
+    print("-" * len(header))
+    for method, comparison in tree_comparisons.items():
+        print(
+            f"{method:<8} {comparison.tree.total_verified_tokens:>14} "
+            f"{comparison.row.total_verified_tokens:>13} {comparison.verified_token_ratio:>7.3f} "
+            f"{comparison.tree.mean_tokens_per_second:>11.1f} "
+            f"{comparison.row.mean_tokens_per_second:>10.1f} {str(comparison.tokens_identical):>10}"
+        )
+
     emit_bench_json(
         "table2_speed",
         {
@@ -96,6 +130,7 @@ def test_table2_generation_speed(benchmark, trained_pipeline, rtllm_subset, vgen
             "ntp_speedup": {method: speedup(report, baseline) for method, report in reports.items()},
             "step_speedup": {method: speedup(report, baseline, use_steps=True) for method, report in reports.items()},
             "cache_comparison": {method: comparison.to_dict() for method, comparison in comparisons.items()},
+            "tree_comparison": {method: comparison.to_dict() for method, comparison in tree_comparisons.items()},
         },
     )
 
@@ -107,6 +142,14 @@ def test_table2_generation_speed(benchmark, trained_pipeline, rtllm_subset, vgen
 
     # The cache is an optimisation, not a behaviour change.
     assert all(comparison.tokens_identical for comparison in comparisons.values())
+    # So is the token tree — identical tokens, strictly fewer verified
+    # positions (candidates always share at least the committed base token).
+    for method, comparison in tree_comparisons.items():
+        assert comparison.tokens_identical, f"{method}: tree verification changed committed tokens"
+        assert comparison.tree.total_verified_tokens < comparison.row.total_verified_tokens, (
+            f"{method}: tree verified {comparison.tree.total_verified_tokens} positions, "
+            f"row verified {comparison.row.total_verified_tokens}"
+        )
     assert reports["ntp"].mean_tokens_per_step == pytest.approx(1.0, abs=1e-6)
     if not SMOKE:
         # Shape assertions (paper: speculative methods commit >1 token per step;

@@ -1,0 +1,82 @@
+#!/usr/bin/env python
+"""Regenerate the golden-token regression fixtures under ``tests/golden/``.
+
+The goldens pin exact prompt -> output token sequences for all three decoding
+methods (Ours / Medusa / NTP) under greedy decoding and seeded sampling, so a
+decoding refactor that silently changes committed tokens fails loudly in
+``tests/test_golden.py`` instead of drifting.
+
+The pipeline is built from the same canonical configuration the test fixture
+uses (``tests/conftest.py::tiny_pipeline_config``); run this script — and
+commit the diff — only when an intentional behaviour change invalidates the
+fixtures:
+
+    PYTHONPATH=src python scripts/regen_golden.py
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+sys.path.insert(0, str(REPO / "tests"))
+
+from conftest import tiny_pipeline_config  # noqa: E402 (tests/ on path)
+
+from repro.core.pipeline import VerilogSpecPipeline  # noqa: E402
+from repro.models.generation import GenerationConfig  # noqa: E402
+
+GOLDEN_DIR = REPO / "tests" / "golden"
+NUM_PROMPTS = 2
+METHODS = ("ours", "medusa", "ntp")
+
+
+def golden_configs() -> list:
+    """The decoding configurations pinned by the fixtures."""
+    return [
+        GenerationConfig.greedy_config(24),
+        GenerationConfig.sampling_config(0.8, 20, seed=1),
+    ]
+
+
+def config_to_dict(config: GenerationConfig) -> dict:
+    return {
+        "max_new_tokens": config.max_new_tokens,
+        "temperature": config.temperature,
+        "top_k": config.top_k,
+        "greedy": config.greedy,
+        "seed": config.seed,
+    }
+
+
+def main() -> int:
+    pipeline = VerilogSpecPipeline(tiny_pipeline_config())
+    pipeline.prepare()
+    pipeline.train_all()
+    prompts = [example.prompt_text() for example in pipeline.examples][:NUM_PROMPTS]
+
+    GOLDEN_DIR.mkdir(exist_ok=True)
+    for method in METHODS:
+        decoder = pipeline.decoder_for(method)
+        cases = []
+        for config in golden_configs():
+            outputs = [decoder.generate_from_text(prompt, config).token_ids for prompt in prompts]
+            cases.append({"config": config_to_dict(config), "outputs": outputs})
+        fixture = {
+            "method": method,
+            "pipeline": "tests/conftest.py::tiny_pipeline_config",
+            "prompts": prompts,
+            "cases": cases,
+        }
+        path = GOLDEN_DIR / f"{method}.json"
+        path.write_text(json.dumps(fixture, indent=2) + "\n")
+        total = sum(len(ids) for case in cases for ids in case["outputs"])
+        print(f"wrote {path.relative_to(REPO)}: {len(cases)} configs x {len(prompts)} prompts, {total} tokens")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

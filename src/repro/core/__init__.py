@@ -7,6 +7,8 @@ Modules:
 * :mod:`repro.core.integrity` — fragment-integrity truncation,
 * :mod:`repro.core.decoding` — the speculative decoding loop with the three
   strategies compared in the paper (Ours / Medusa / NTP),
+* :mod:`repro.core.token_tree` — prefix-deduplicated token trees and the
+  attention masks for tree-structured candidate verification,
 * :mod:`repro.core.training` — the multi-head training objective (eq. 2) and
   the fine-tuning loop,
 * :mod:`repro.core.pipeline` — an end-to-end convenience API gluing dataset,
@@ -22,6 +24,7 @@ from repro.core.labels import (
 from repro.core.acceptance import TypicalAcceptance
 from repro.core.integrity import truncate_to_complete_fragment
 from repro.core.decoding import DecodingStrategy, SpeculativeDecoder, DecodeResult
+from repro.core.token_tree import TokenTree
 from repro.core.training import MedusaLoss, TrainerConfig, MedusaTrainer, TrainingSample
 from repro.core.pipeline import PipelineConfig, VerilogSpecPipeline
 
@@ -35,6 +38,7 @@ __all__ = [
     "DecodingStrategy",
     "SpeculativeDecoder",
     "DecodeResult",
+    "TokenTree",
     "MedusaLoss",
     "TrainerConfig",
     "MedusaTrainer",

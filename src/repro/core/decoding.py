@@ -10,10 +10,21 @@ compares:
 
 At each decoding step the model proposes a small set of candidate
 continuations (the base head's top tokens extended with the Medusa heads'
-predictions), verifies all candidates in a single batched forward pass — the
-stand-in for Medusa's tree attention — scores them with the typical-acceptance
-rule (eq. 1), optionally truncates to the last fragment boundary, and commits
-the longest accepted candidate prefix.
+predictions), verifies all candidates in a single batched forward pass, scores
+them with the typical-acceptance rule (eq. 1), optionally truncates to the
+last fragment boundary, and commits the longest accepted candidate prefix.
+
+Two verification layouts are supported, committing identical tokens:
+
+* **row-batched** (the default, kept as the reference implementation) — each
+  candidate occupies its own padded batch row, so tokens shared between
+  candidates are verified once per candidate;
+* **token-tree** (``GenerationConfig.tree_verify``) — the candidate set is
+  merged into a prefix-deduplicated tree (:mod:`repro.core.token_tree`),
+  Medusa/SpecInfer style, and verified in one forward over a single row with
+  a tree attention mask; shared prefixes are verified exactly once, and the
+  accepted root-to-leaf path is compacted back into the KV cache with
+  :meth:`~repro.nn.kv_cache.KVCache.keep_path`.
 
 By default the decoder runs **incrementally** over a per-layer KV cache
 (:mod:`repro.nn.kv_cache`): the prompt is prefilled once, every verification
@@ -41,6 +52,13 @@ import numpy as np
 
 from repro.core.acceptance import TypicalAcceptance
 from repro.core.integrity import truncate_to_complete_fragment
+from repro.core.token_tree import (
+    TokenTree,
+    tree_bias_cached,
+    tree_bias_full,
+    tree_position_offsets,
+    tree_position_offsets_full,
+)
 from repro.models.generation import GenerationConfig, sample_from_logits, top_k_token_ids
 from repro.models.medusa import MedusaLM
 from repro.tokenizer.bpe import BPETokenizer
@@ -112,7 +130,30 @@ def propose_candidates(
         head0_top2 = int(top_k_token_ids(head0, 2)[1]) if head0.shape[-1] > 1 else int(np.argmax(head0))
         alt = [first_token, head0_top2] + head_top1[1:]
         candidates.append(alt)
-    return candidates[: max(num_candidates, 1)]
+    return dedupe_candidates(candidates)[: max(num_candidates, 1)]
+
+
+def dedupe_candidates(candidates: List[List[int]]) -> List[List[int]]:
+    """Drop duplicate candidates, keeping first occurrences (order preserved).
+
+    Identical candidates verify identical positions and can never beat their
+    first occurrence in :func:`select_best_candidate`, so each duplicate is a
+    wasted verification row (or tree branch).  Duplicates mainly arise when
+    the context/budget clip truncates candidates that differ only in their
+    tails down to the same prefix — with a budget of one remaining token,
+    every candidate collapses to ``[first_token]``.
+
+    Candidate 0 (the one starting with the token the base model itself
+    commits) is always a first occurrence, so its special role is preserved.
+    """
+    seen = set()
+    unique: List[List[int]] = []
+    for candidate in candidates:
+        key = tuple(candidate)
+        if key not in seen:
+            seen.add(key)
+            unique.append(candidate)
+    return unique
 
 
 def pad_candidates(candidates: List[List[int]], width: Optional[int] = None) -> List[List[int]]:
@@ -244,12 +285,20 @@ def max_step_extra(prompt_len: int, output_len: int, remaining: int, max_seq_len
 
 @dataclass
 class StepRecord:
-    """Bookkeeping for one decoding step (used by the Fig. 5 bench)."""
+    """Bookkeeping for one decoding step (used by the Fig. 5 bench).
+
+    ``verified`` counts the positions the verification forward actually
+    computed this step: candidate rows x padded window width for row-batched
+    verification, the node count of the deduplicated tree for token-tree
+    verification, and 1 for plain next-token prediction.  The tree-vs-row
+    speed bench compares these counts directly.
+    """
 
     proposed: int
     accepted: int
     committed: int
     ends_at_boundary: bool
+    verified: int = 1
 
 
 @dataclass
@@ -293,6 +342,11 @@ class DecodeResult:
         if self.steps == 0:
             return 0.0
         return self.tokens_generated / self.steps
+
+    @property
+    def tokens_verified(self) -> int:
+        """Total positions run through candidate verification (see :class:`StepRecord`)."""
+        return sum(record.verified for record in self.step_records)
 
 
 class SpeculativeDecoder:
@@ -512,6 +566,43 @@ class SpeculativeDecoder:
         """See :func:`pad_candidates` (kept as a method for API stability)."""
         return pad_candidates(candidates)
 
+    def _verify_candidates_tree(
+        self,
+        prompt_ids: List[int],
+        output_ids: List[int],
+        tree: TokenTree,
+    ) -> List[List[np.ndarray]]:
+        """Full-recompute token-tree verification: one forward over one row.
+
+        The decoder input is the committed prefix followed by the tree's
+        (deduplicated) node tokens; a tree attention mask and per-node
+        position offsets make the logits at node ``n`` equal what the
+        row-batched forward produces at the corresponding candidate token.
+        Returns per-candidate logits lists in :func:`select_best_candidate`'s
+        layout.
+        """
+        if self.model.is_encoder_decoder:
+            prefix = [self.bos_id] + output_ids
+            encoder_batch = np.asarray(prompt_ids, dtype=np.int64)[None, :]
+        else:
+            prefix = prompt_ids + output_ids
+            encoder_batch = None
+        prefix_len = len(prefix)
+        row = np.asarray([prefix + tree.tokens], dtype=np.int64)
+        bias = tree_bias_full(prefix_len, tree)
+        offsets = tree_position_offsets_full(prefix_len, tree)
+        base_logits, _ = self.model.forward_hidden(
+            row, encoder_batch, attn_bias=bias, position_offsets=offsets
+        )
+        # The predictor of candidate token i is node i-1's logits; token 0's
+        # predictor is the last prefix position (unused by the scoring).
+        per_candidate: List[List[np.ndarray]] = []
+        for nodes in tree.candidate_nodes:
+            logits_list = [base_logits[0, prefix_len - 1]]
+            logits_list += [base_logits[0, prefix_len + node] for node in nodes[:-1]]
+            per_candidate.append(logits_list)
+        return per_candidate
+
     def _verify_candidates(
         self,
         prompt_ids: List[int],
@@ -591,9 +682,15 @@ class SpeculativeDecoder:
             last_base = base_logits[0, -1]
             last_heads = [h[0] for h in self.model.head_logits_at(hidden[:, -1])]
             candidates = self._propose_candidates(last_base, last_heads, config, rng)
-            candidates = self._clip_candidates(prompt_ids, output_ids, candidates, remaining)
+            candidates = dedupe_candidates(self._clip_candidates(prompt_ids, output_ids, candidates, remaining))
 
-            verification = self._verify_candidates(prompt_ids, output_ids, candidates)
+            if config.tree_verify:
+                tree = TokenTree.from_candidates(candidates)
+                verification = self._verify_candidates_tree(prompt_ids, output_ids, tree)
+                verified = tree.size
+            else:
+                verification = self._verify_candidates(prompt_ids, output_ids, candidates)
+                verified = len(candidates) * max(len(candidate) for candidate in candidates)
             best_tokens, best_accepted, _ = self._select_best_candidate(candidates, verification, config)
 
             output_ids.extend(best_tokens)
@@ -603,6 +700,7 @@ class SpeculativeDecoder:
                     accepted=best_accepted,
                     committed=len(best_tokens),
                     ends_at_boundary=best_tokens[-1] in (self.frag_id, self.eos_id),
+                    verified=verified,
                 )
             )
             if self.eos_id in best_tokens:
@@ -629,7 +727,14 @@ class SpeculativeDecoder:
         if self._truncate_budget(prompt_ids, 0, 1):
             # Prompt already fills the context window; match the uncached path.
             return output_ids, records, stopped, 0.0
-        cache = self.model.new_cache()
+        if config.tree_verify:
+            # The whole tree (all branches) is appended to the one cache row
+            # before compaction, so the row needs headroom beyond the context
+            # window: up to num_candidates full-length candidates of nodes.
+            headroom = self.num_candidates * (self.max_speculative_heads + 1)
+            cache = self.model.new_cache(capacity=self.model.backbone.max_seq_len + headroom)
+        else:
+            cache = self.model.new_cache()
         prefill_start = time.perf_counter()
         last_base, last_heads = self._prefill(prompt_ids, cache)
         prefill_seconds = time.perf_counter() - prefill_start
@@ -638,30 +743,61 @@ class SpeculativeDecoder:
             if self._truncate_budget(prompt_ids, len(output_ids), 1):
                 break
             candidates = self._propose_candidates(last_base, last_heads, config, rng)
-            candidates = self._clip_candidates(prompt_ids, output_ids, candidates, remaining)
-
-            # Batched cached verification: every candidate extends the same
-            # committed prefix, so expand the cache to one row per candidate
-            # and run one incremental forward over just the candidate tokens.
-            padded = self._pad_candidates(candidates)
+            candidates = dedupe_candidates(self._clip_candidates(prompt_ids, output_ids, candidates, remaining))
             prefix_len = cache.length
-            cache.expand_batch(len(padded))
-            base_v, hidden_v = self.model.forward_hidden(np.asarray(padded, dtype=np.int64), cache=cache)
-            # Logits predicting candidate token i live at window position i-1;
-            # token 0's predictor is the last prefix position (= the proposal
-            # logits we already hold, unused by the scoring).
-            if config.greedy or config.temperature <= 0.0:
-                # Greedy verification only compares argmaxes: one vectorised
-                # argmax over the window replaces per-position logit reads.
-                argmax_v = np.argmax(base_v, axis=-1)
-                greedy_argmax = [argmax_v[row, : len(candidate) - 1] for row, candidate in enumerate(candidates)]
-                logits_lists = None
+            greedy = config.greedy or config.temperature <= 0.0
+
+            if config.tree_verify:
+                # Token-tree verification: merge the candidates into one
+                # prefix-deduplicated tree and verify every node in a single
+                # cached forward over a single row — shared candidate
+                # prefixes cost one position instead of one per candidate.
+                tree = TokenTree.from_candidates(candidates)
+                bias = tree_bias_cached([tree], [prefix_len], window=tree.size, view=prefix_len + tree.size)
+                offsets = tree_position_offsets([tree], tree.size)
+                base_v, hidden_v = self.model.forward_hidden(
+                    np.asarray([tree.tokens], dtype=np.int64),
+                    cache=cache,
+                    attn_bias=bias,
+                    position_offsets=offsets,
+                )
+                # The predictor of candidate token i is its candidate's node
+                # i-1; token 0's predictor is the held proposal logits.
+                if greedy:
+                    argmax_nodes = np.argmax(base_v[0], axis=-1)
+                    greedy_argmax = [
+                        argmax_nodes[np.asarray(nodes[:-1], dtype=np.int64)] for nodes in tree.candidate_nodes
+                    ]
+                    logits_lists = None
+                else:
+                    greedy_argmax = None
+                    logits_lists = [
+                        [last_base] + [base_v[0, node] for node in nodes[:-1]] for nodes in tree.candidate_nodes
+                    ]
             else:
-                greedy_argmax = None
-                logits_lists = [
-                    [last_base] + [base_v[row, i - 1] for i in range(1, len(candidate))]
-                    for row, candidate in enumerate(candidates)
-                ]
+                # Row-batched verification (the reference layout): every
+                # candidate extends the same committed prefix, so expand the
+                # cache to one row per candidate and run one incremental
+                # forward over just the candidate tokens.
+                padded = self._pad_candidates(candidates)
+                cache.expand_batch(len(padded))
+                base_v, hidden_v = self.model.forward_hidden(np.asarray(padded, dtype=np.int64), cache=cache)
+                # Logits predicting candidate token i live at window position
+                # i-1; token 0's predictor is the last prefix position (= the
+                # proposal logits we already hold, unused by the scoring).
+                if greedy:
+                    # Greedy verification only compares argmaxes: one
+                    # vectorised argmax over the window replaces per-position
+                    # logit reads.
+                    argmax_v = np.argmax(base_v, axis=-1)
+                    greedy_argmax = [argmax_v[row, : len(candidate) - 1] for row, candidate in enumerate(candidates)]
+                    logits_lists = None
+                else:
+                    greedy_argmax = None
+                    logits_lists = [
+                        [last_base] + [base_v[row, i - 1] for i in range(1, len(candidate))]
+                        for row, candidate in enumerate(candidates)
+                    ]
             best_tokens, best_accepted, best_row = select_best_candidate(
                 candidates,
                 logits_lists,
@@ -672,11 +808,24 @@ class SpeculativeDecoder:
                 eos_id=self.eos_id,
                 greedy_argmax=greedy_argmax,
             )
-
-            # Roll back: keep the accepted row, drop rejected/truncated tokens.
             committed = len(best_tokens)
-            cache.keep_row(best_row)
-            cache.truncate(prefix_len + committed)
+
+            if config.tree_verify:
+                # Compact the appended tree to the accepted root-to-leaf path.
+                path = tree.path(best_row, committed)
+                cache.keep_path(prefix_len, path)
+                verified = tree.size
+                last_node = path[-1]
+                next_base = base_v[0, last_node]
+                next_hidden = hidden_v[0, last_node]
+            else:
+                # Roll back: keep the accepted row, drop rejected/truncated
+                # tokens.
+                cache.keep_row(best_row)
+                cache.truncate(prefix_len + committed)
+                verified = len(padded) * len(padded[0])
+                next_base = base_v[best_row, committed - 1]
+                next_hidden = hidden_v[best_row, committed - 1]
 
             output_ids.extend(best_tokens)
             records.append(
@@ -685,6 +834,7 @@ class SpeculativeDecoder:
                     accepted=best_accepted,
                     committed=committed,
                     ends_at_boundary=best_tokens[-1] in (self.frag_id, self.eos_id),
+                    verified=verified,
                 )
             )
             if self.eos_id in best_tokens:
@@ -693,6 +843,6 @@ class SpeculativeDecoder:
             # The verification forward already produced the hidden state at the
             # last committed position — it seeds the next step's proposal (the
             # Medusa heads are evaluated only there, never over the window).
-            last_base = base_v[best_row, committed - 1]
-            last_heads = [h[0] for h in self.model.head_logits_at(hidden_v[best_row, committed - 1][None, :])]
+            last_base = next_base
+            last_heads = [h[0] for h in self.model.head_logits_at(next_hidden[None, :])]
         return output_ids, records, stopped, prefill_seconds

@@ -13,7 +13,15 @@ from repro.evalbench.vgen import vgen_suite
 from repro.evalbench.passk import pass_at_k, pass_at_k_from_counts, pass_rate
 from repro.evalbench.syntax_eval import check_design_compiles
 from repro.evalbench.functional import check_design_functional
-from repro.evalbench.speed import SpeedReport, measure_speed, speedup
+from repro.evalbench.speed import (
+    CacheComparison,
+    SpeedReport,
+    TreeComparison,
+    compare_cache_modes,
+    compare_tree_modes,
+    measure_speed,
+    speedup,
+)
 from repro.evalbench.throughput import (
     ServingComparison,
     ThroughputReport,
@@ -33,7 +41,11 @@ __all__ = [
     "pass_rate",
     "check_design_compiles",
     "check_design_functional",
+    "CacheComparison",
     "SpeedReport",
+    "TreeComparison",
+    "compare_cache_modes",
+    "compare_tree_modes",
     "measure_speed",
     "speedup",
     "ServingComparison",

@@ -60,18 +60,27 @@ class TinyCodeLlama:
         input_ids: np.ndarray,
         encoder_ids: Optional[np.ndarray] = None,
         cache: Optional[KVCache] = None,
+        attn_bias: Optional[np.ndarray] = None,
+        position_offsets: Optional[np.ndarray] = None,
     ) -> np.ndarray:
         """Return last hidden states for ``input_ids`` (encoder_ids is unused).
 
         With ``cache``, ``input_ids`` extend the cached prefix (incremental
-        decoding).
+        decoding).  ``attn_bias``/``position_offsets`` generalise the causal
+        mask and position layout for token-tree verification (see
+        :meth:`~repro.nn.transformer.DecoderOnlyTransformer.forward`).
         """
         del encoder_ids
-        return self.transformer.forward(np.asarray(input_ids, dtype=np.int64), cache=cache)
+        return self.transformer.forward(
+            np.asarray(input_ids, dtype=np.int64),
+            cache=cache,
+            attn_bias=attn_bias,
+            position_offsets=position_offsets,
+        )
 
-    def make_cache(self, batch: int = 1) -> KVCache:
+    def make_cache(self, batch: int = 1, capacity: Optional[int] = None) -> KVCache:
         """Create an empty per-layer KV cache for incremental decoding."""
-        return self.transformer.make_cache(batch=batch)
+        return self.transformer.make_cache(batch=batch, capacity=capacity)
 
     def backward(self, grad_hidden: np.ndarray) -> None:
         """Backpropagate a gradient arriving at the hidden states."""

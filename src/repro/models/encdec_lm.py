@@ -64,6 +64,8 @@ class TinyCodeT5p:
         input_ids: np.ndarray,
         encoder_ids: Optional[np.ndarray] = None,
         cache: Optional[KVCache] = None,
+        attn_bias: Optional[np.ndarray] = None,
+        position_offsets: Optional[np.ndarray] = None,
     ) -> np.ndarray:
         """Return decoder hidden states for ``input_ids`` given the prompt.
 
@@ -72,13 +74,21 @@ class TinyCodeT5p:
         prompt once and then decodes incrementally).  With ``cache``,
         ``input_ids`` extend the cached decoder prefix and the cross-attention
         projections of the encoder memory are computed only once.
+        ``attn_bias``/``position_offsets`` generalise decoder self-attention
+        masking and positions for token-tree verification.
         """
         encoder = None if encoder_ids is None else np.asarray(encoder_ids, dtype=np.int64)
-        return self.transformer.forward(np.asarray(input_ids, dtype=np.int64), encoder, cache=cache)
+        return self.transformer.forward(
+            np.asarray(input_ids, dtype=np.int64),
+            encoder,
+            cache=cache,
+            attn_bias=attn_bias,
+            position_offsets=position_offsets,
+        )
 
-    def make_cache(self, batch: int = 1) -> KVCache:
+    def make_cache(self, batch: int = 1, capacity: Optional[int] = None) -> KVCache:
         """Create an empty per-layer KV cache for incremental decoding."""
-        return self.transformer.make_cache(batch=batch)
+        return self.transformer.make_cache(batch=batch, capacity=capacity)
 
     def backward(self, grad_hidden: np.ndarray) -> None:
         """Backpropagate a gradient arriving at the decoder hidden states."""

@@ -18,21 +18,34 @@ from repro.nn.functional import softmax
 
 @dataclass
 class GenerationConfig:
-    """Configuration of a single generation run."""
+    """Configuration of a single generation run.
+
+    ``tree_verify`` selects token-tree speculative verification: the
+    candidate set is merged into a prefix-deduplicated tree and verified in
+    one forward over one row instead of one padded row per candidate
+    (:mod:`repro.core.token_tree`).  Committed tokens are identical either
+    way; the tree simply verifies fewer positions whenever candidates share
+    a prefix.  Ignored by plain next-token prediction.
+    """
 
     max_new_tokens: int = 192
     temperature: float = 0.0
     top_k: int = 0
     greedy: bool = True
     seed: int = 0
+    tree_verify: bool = False
 
     @classmethod
-    def greedy_config(cls, max_new_tokens: int = 192) -> "GenerationConfig":
-        return cls(max_new_tokens=max_new_tokens, temperature=0.0, greedy=True)
+    def greedy_config(cls, max_new_tokens: int = 192, tree_verify: bool = False) -> "GenerationConfig":
+        return cls(max_new_tokens=max_new_tokens, temperature=0.0, greedy=True, tree_verify=tree_verify)
 
     @classmethod
-    def sampling_config(cls, temperature: float = 0.8, max_new_tokens: int = 192, seed: int = 0) -> "GenerationConfig":
-        return cls(max_new_tokens=max_new_tokens, temperature=temperature, greedy=False, seed=seed)
+    def sampling_config(
+        cls, temperature: float = 0.8, max_new_tokens: int = 192, seed: int = 0, tree_verify: bool = False
+    ) -> "GenerationConfig":
+        return cls(
+            max_new_tokens=max_new_tokens, temperature=temperature, greedy=False, seed=seed, tree_verify=tree_verify
+        )
 
 
 def sample_from_logits(

@@ -118,6 +118,8 @@ class MedusaLM(Module):
         input_ids: np.ndarray,
         encoder_ids: Optional[np.ndarray] = None,
         cache: Optional[KVCache] = None,
+        attn_bias: Optional[np.ndarray] = None,
+        position_offsets: Optional[np.ndarray] = None,
     ) -> Tuple[np.ndarray, np.ndarray]:
         """Compute base-head logits and return the hidden states alongside.
 
@@ -133,12 +135,19 @@ class MedusaLM(Module):
             input_ids: as for :meth:`forward`.
             encoder_ids: as for :meth:`forward`.
             cache: as for :meth:`forward`.
+            attn_bias: optional additive attention mask replacing the causal
+                mask (token-tree verification; see
+                :meth:`~repro.nn.layers.CausalSelfAttention.forward`).
+            position_offsets: optional per-token position offsets from each
+                row's start (tree nodes sit at ``prefix + depth``).
 
         Returns:
             ``(base_logits, hidden)`` with shapes ``(B, T, V)`` and
             ``(B, T, D)``.
         """
-        hidden = self.backbone.hidden_states(input_ids, encoder_ids, cache=cache)
+        hidden = self.backbone.hidden_states(
+            input_ids, encoder_ids, cache=cache, attn_bias=attn_bias, position_offsets=position_offsets
+        )
         self._last_hidden = hidden
         return self.base_head.forward(hidden), hidden
 
@@ -155,9 +164,14 @@ class MedusaLM(Module):
         expanded = hidden[:, None, :]
         return [head.forward(expanded)[:, 0] for head in self.medusa_heads]
 
-    def new_cache(self, batch: int = 1) -> KVCache:
-        """Create an empty KV cache for incremental decoding with this model."""
-        return self.backbone.make_cache(batch=batch)
+    def new_cache(self, batch: int = 1, capacity: Optional[int] = None) -> KVCache:
+        """Create an empty KV cache for incremental decoding with this model.
+
+        ``capacity`` overrides the default (the backbone's context window);
+        token-tree verification asks for headroom beyond it because the whole
+        candidate tree — all branches — is appended before compaction.
+        """
+        return self.backbone.make_cache(batch=batch, capacity=capacity)
 
     def backward(self, grad_base: np.ndarray, grad_heads: Sequence[np.ndarray]) -> None:
         """Backpropagate per-head logit gradients into the backbone."""

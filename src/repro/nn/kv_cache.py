@@ -236,6 +236,38 @@ class KVCache:
             raise IndexError(f"row {row} out of range for batch {self.batch}")
         self.select_rows([row])
 
+    def keep_path(self, prefix_len: int, node_positions: Sequence[int]) -> None:
+        """Compact an appended token-tree window down to one accepted path, in place.
+
+        Token-tree verification appends the *whole* deduplicated candidate
+        tree after the committed prefix; once acceptance picks a root-to-leaf
+        path, only that path's K/V belongs in the cache.  This gathers the
+        window positions ``node_positions`` (tree-node indices, in root-to-
+        leaf order) to sit contiguously right after ``prefix_len`` and rolls
+        the length back to ``prefix_len + len(node_positions)`` — the tree
+        analogue of ``keep_row`` + ``truncate`` for row-batched verification.
+        Requires a batch-1 cache (single-stream decoding); the serving engine
+        uses :meth:`compact_paths` instead.
+        """
+        if self.batch != 1:
+            raise ValueError(f"keep_path requires a batch-1 cache, got batch {self.batch}")
+        if prefix_len < 0:
+            raise ValueError(f"negative prefix length {prefix_len}")
+        index = np.asarray(list(node_positions), dtype=np.int64)
+        length = self.length
+        if index.size and (int(index.min()) < 0 or prefix_len + int(index.max()) >= length):
+            raise IndexError(
+                f"path positions {index} out of range for window [{0}, {length - prefix_len})"
+            )
+        new_length = prefix_len + index.size
+        for layer in self.layers:
+            if index.size:
+                # Fancy indexing copies, so the in-place write is safe even
+                # though source and destination ranges overlap.
+                layer.k[0, :, prefix_len:new_length] = layer.k[0][:, prefix_len + index]
+                layer.v[0, :, prefix_len:new_length] = layer.v[0][:, prefix_len + index]
+            layer.lengths = np.full_like(layer.lengths, new_length)
+
     # -- multi-request serving operations -------------------------------------
 
     def select_rows(self, rows: Sequence[int]) -> None:
@@ -365,6 +397,69 @@ class KVCache:
             if layer.has_cross:
                 out_layer.cross_k = layer.cross_k[index].copy()
                 out_layer.cross_v = layer.cross_v[index].copy()
+        return out
+
+    def compact_paths(
+        self,
+        rows: Sequence[int],
+        prefixes: Sequence[int],
+        paths: Sequence[Sequence[int]],
+        capacity: Optional[int] = None,
+    ) -> "KVCache":
+        """Gather per-row accepted tree paths into a new compacted cache.
+
+        The multi-request generalisation of :meth:`keep_path`: after the
+        serving engine verifies one token tree per request inside the shared
+        forward, new row ``i`` of the result is source row ``rows[i]``'s
+        committed prefix (``prefixes[i]`` positions) followed by the K/V of
+        the accepted path's tree nodes (window positions ``paths[i]``, in
+        root-to-leaf order).  Rejected branches are dropped in the same copy.
+        ``capacity`` restores a full-size cache when compacting out of a
+        trimmed step cache.
+        """
+        rows = list(rows)
+        for row in rows:
+            if not 0 <= row < self.batch:
+                raise IndexError(f"row {row} out of range for batch {self.batch}")
+        if not (len(prefixes) == len(paths) == len(rows)):
+            raise ValueError(
+                f"rows/prefixes/paths length mismatch: {len(rows)}/{len(prefixes)}/{len(paths)}"
+            )
+        source_lengths = self.layers[0].lengths
+        new_lengths = np.zeros(len(rows), dtype=np.int64)
+        indices: List[np.ndarray] = []
+        for i, (row, prefix, path) in enumerate(zip(rows, prefixes, paths)):
+            index = np.asarray(list(path), dtype=np.int64)
+            if prefix < 0:
+                raise ValueError(f"negative prefix length {prefix}")
+            limit = int(source_lengths[row])
+            if index.size and (int(index.min()) < 0 or prefix + int(index.max()) >= limit):
+                raise IndexError(
+                    f"row {row}: path positions {index} out of range for window [0, {limit - prefix})"
+                )
+            indices.append(index)
+            new_lengths[i] = prefix + index.size
+        new_capacity = self.capacity if capacity is None else capacity
+        if int(new_lengths.max(initial=0)) > new_capacity:
+            raise ValueError(f"capacity {new_capacity} below kept length {int(new_lengths.max(initial=0))}")
+        out = KVCache(self.num_layers, self.num_heads, self.head_dim, new_capacity, batch=0)
+        gather = np.asarray(rows, dtype=np.int64)
+        for layer, out_layer in zip(self.layers, out.layers):
+            # Zero-filled for the ragged-buffer invariant (see select_rows).
+            new_k = np.zeros((len(rows), self.num_heads, new_capacity, self.head_dim), dtype=layer.k.dtype)
+            new_v = np.zeros_like(new_k)
+            for i, (row, prefix, index) in enumerate(zip(rows, prefixes, indices)):
+                new_k[i, :, :prefix] = layer.k[row, :, :prefix]
+                new_v[i, :, :prefix] = layer.v[row, :, :prefix]
+                if index.size:
+                    new_k[i, :, prefix : prefix + index.size] = layer.k[row][:, prefix + index]
+                    new_v[i, :, prefix : prefix + index.size] = layer.v[row][:, prefix + index]
+            out_layer.k = new_k
+            out_layer.v = new_v
+            out_layer.lengths = new_lengths.copy()
+            if layer.has_cross:
+                out_layer.cross_k = layer.cross_k[gather].copy()
+                out_layer.cross_v = layer.cross_v[gather].copy()
         return out
 
     @classmethod

@@ -179,10 +179,20 @@ class CausalSelfAttention(Module):
         self.proj = Linear(dim, dim, rng, name=f"{name}.proj")
         self._cache = None
 
-    def forward(self, x: np.ndarray, layer_cache=None) -> np.ndarray:
+    def forward(self, x: np.ndarray, layer_cache=None, attn_bias: Optional[np.ndarray] = None) -> np.ndarray:
         """Attend over ``x``; with ``layer_cache`` (a :class:`~repro.nn.kv_cache.LayerKVCache`),
         append the new keys/values and attend over the full cached prefix
-        (incremental decoding — no backward pass is recorded in this mode)."""
+        (incremental decoding — no backward pass is recorded in this mode).
+
+        ``attn_bias`` replaces the built-in causal mask with an arbitrary
+        additive mask of shape ``(batch, query, key)`` (``0.0`` = may attend,
+        ``-1e9`` = masked), broadcast over heads.  The key axis covers the
+        full key buffer — cached prefix plus appended window when a cache is
+        present, the whole sequence otherwise — so the caller is responsible
+        for masking stale/padded key slots too.  This is the hook token-tree
+        verification uses to let each tree node attend exactly its ancestor
+        chain plus the cached prefix.
+        """
         batch, time, dim = x.shape
         qkv = self.qkv.forward(x)
         q, k, v = np.split(qkv, 3, axis=-1)
@@ -198,7 +208,14 @@ class CausalSelfAttention(Module):
             past_rows = layer_cache.lengths.copy()
             kh, vh = layer_cache.append(kh, vh)
             scores = qh @ kh.transpose(0, 1, 3, 2) / self.scale
-            if self.causal:
+            if attn_bias is not None:
+                if attn_bias.shape != (batch, time, kh.shape[2]):
+                    raise ValueError(
+                        f"attn_bias shape {attn_bias.shape} != (batch, query, key) = "
+                        f"({batch}, {time}, {kh.shape[2]})"
+                    )
+                scores = scores + attn_bias[:, None, :, :]
+            elif self.causal:
                 # Row r's query i sits at absolute position past_r + i and may
                 # attend to keys 0..past_r+i.  Keys past a row's own length are
                 # stale storage from longer rows; they sit at positions
@@ -210,7 +227,13 @@ class CausalSelfAttention(Module):
                 np.copyto(scores, -1e9, where=mask[:, None, :, :])
         else:
             scores = qh @ kh.transpose(0, 1, 3, 2) / self.scale
-            if self.causal:
+            if attn_bias is not None:
+                if attn_bias.shape != (batch, time, time):
+                    raise ValueError(
+                        f"attn_bias shape {attn_bias.shape} != (batch, query, key) = ({batch}, {time}, {time})"
+                    )
+                scores = scores + attn_bias[:, None, :, :]
+            elif self.causal:
                 # Query i may attend to keys 0..i.
                 key_positions = np.arange(time)
                 mask = key_positions[None, :] > key_positions[:, None]

@@ -31,7 +31,13 @@ from repro.nn.layers import (
 )
 
 
-def _decode_positions(cache: Optional[KVCache], batch: int, time: int, max_seq_len: int) -> np.ndarray:
+def _decode_positions(
+    cache: Optional[KVCache],
+    batch: int,
+    time: int,
+    max_seq_len: int,
+    position_offsets: Optional[np.ndarray] = None,
+) -> np.ndarray:
     """Absolute positions ``(batch, time)`` for a (possibly cached) forward.
 
     Without a cache every row starts at position 0.  With a cache each row
@@ -41,7 +47,30 @@ def _decode_positions(cache: Optional[KVCache], batch: int, time: int, max_seq_l
     sequence-length check uses those real extents, and the positions of the
     padded tail slots are clamped into the embedding table's range (their
     outputs are garbage by construction and ignored by the caller).
+
+    ``position_offsets`` overrides the default consecutive layout with
+    per-token offsets from each row's start (its cached prefix length, or 0
+    without a cache).  Token-tree verification uses this to place every tree
+    node at ``prefix + depth`` — siblings share a position, exactly as if
+    each root-to-leaf path were its own contiguous row.
     """
+    if position_offsets is not None:
+        offsets = np.asarray(position_offsets, dtype=np.int64)
+        if offsets.shape != (batch, time):
+            raise ValueError(f"position_offsets shape {offsets.shape} != (batch, time) = ({batch}, {time})")
+        past = cache.lengths[:, None] if cache is not None else np.zeros((batch, 1), dtype=np.int64)
+        positions = past + offsets
+        widths = cache.append_widths if cache is not None else None
+        if widths is None:
+            longest = int(positions.max(initial=-1)) + 1
+        else:
+            longest = max(
+                (int(positions[row, : int(width)].max(initial=-1)) + 1 for row, width in enumerate(widths)),
+                default=0,
+            )
+        if longest > max_seq_len:
+            raise ValueError(f"sequence length {longest} exceeds max_seq_len {max_seq_len}")
+        return np.minimum(positions, max_seq_len - 1)
     if cache is None:
         if time > max_seq_len:
             raise ValueError(f"sequence length {time} exceeds max_seq_len {max_seq_len}")
@@ -65,8 +94,8 @@ class TransformerBlock(Module):
         self.ln2 = LayerNorm(dim, name=f"{name}.ln2")
         self.mlp = FeedForward(dim, 4 * dim, rng, name=f"{name}.mlp")
 
-    def forward(self, x: np.ndarray, layer_cache=None) -> np.ndarray:
-        x = x + self.attn.forward(self.ln1.forward(x), layer_cache=layer_cache)
+    def forward(self, x: np.ndarray, layer_cache=None, attn_bias: Optional[np.ndarray] = None) -> np.ndarray:
+        x = x + self.attn.forward(self.ln1.forward(x), layer_cache=layer_cache, attn_bias=attn_bias)
         x = x + self.mlp.forward(self.ln2.forward(x))
         return x
 
@@ -89,8 +118,10 @@ class CrossTransformerBlock(Module):
         self.mlp = FeedForward(dim, 4 * dim, rng, name=f"{name}.mlp")
         self._memory_grad: Optional[np.ndarray] = None
 
-    def forward(self, x: np.ndarray, memory: Optional[np.ndarray], layer_cache=None) -> np.ndarray:
-        x = x + self.self_attn.forward(self.ln1.forward(x), layer_cache=layer_cache)
+    def forward(
+        self, x: np.ndarray, memory: Optional[np.ndarray], layer_cache=None, attn_bias: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        x = x + self.self_attn.forward(self.ln1.forward(x), layer_cache=layer_cache, attn_bias=attn_bias)
         x = x + self.cross_attn.forward(self.ln2.forward(x), memory, layer_cache=layer_cache)
         x = x + self.mlp.forward(self.ln3.forward(x))
         return x
@@ -128,22 +159,33 @@ class DecoderOnlyTransformer(Module):
         ]
         self.final_norm = LayerNorm(dim, name="final_ln")
 
-    def forward(self, token_ids: np.ndarray, cache: Optional[KVCache] = None) -> np.ndarray:
+    def forward(
+        self,
+        token_ids: np.ndarray,
+        cache: Optional[KVCache] = None,
+        attn_bias: Optional[np.ndarray] = None,
+        position_offsets: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
         """Return hidden states of shape ``(batch, time, dim)``.
 
         With ``cache``, ``token_ids`` are treated as the continuation of the
         cached prefix: positions are offset by ``cache.length`` and attention
         runs over cached keys/values plus the new tokens (incremental
-        decoding).
+        decoding).  ``attn_bias`` replaces the causal mask with an arbitrary
+        additive attention mask (see
+        :meth:`~repro.nn.layers.CausalSelfAttention.forward`) and
+        ``position_offsets`` overrides the consecutive position layout (see
+        :func:`_decode_positions`); together they let a token tree be
+        verified in one forward.
         """
         if token_ids.ndim == 1:
             token_ids = token_ids[None, :]
         batch, time = token_ids.shape
-        positions = _decode_positions(cache, batch, time, self.max_seq_len)
+        positions = _decode_positions(cache, batch, time, self.max_seq_len, position_offsets)
         x = self.token_embedding.forward(token_ids) + self.position_embedding.forward(positions)
         layer_caches = cache.layers if cache is not None else [None] * len(self.blocks)
         for block, layer_cache in zip(self.blocks, layer_caches):
-            x = block.forward(x, layer_cache=layer_cache)
+            x = block.forward(x, layer_cache=layer_cache, attn_bias=attn_bias)
         return self.final_norm.forward(x)
 
     def make_cache(self, batch: int = 1, capacity: Optional[int] = None) -> KVCache:
@@ -218,6 +260,8 @@ class EncoderDecoderTransformer(Module):
         decoder_ids: np.ndarray,
         encoder_ids: Optional[np.ndarray] = None,
         cache: Optional[KVCache] = None,
+        attn_bias: Optional[np.ndarray] = None,
+        position_offsets: Optional[np.ndarray] = None,
     ) -> np.ndarray:
         """Return decoder hidden states ``(batch, time, dim)``.
 
@@ -226,7 +270,11 @@ class EncoderDecoderTransformer(Module):
         generation loop does: encode once, decode incrementally).  With
         ``cache``, decoder self-attention K/V and the per-layer cross-attention
         projections of the encoder memory are cached, and ``decoder_ids`` are
-        the continuation of the cached prefix.
+        the continuation of the cached prefix.  ``attn_bias`` /
+        ``position_offsets`` generalise decoder self-attention masking and
+        positions exactly as in :meth:`DecoderOnlyTransformer.forward`
+        (cross-attention always sees the whole encoder memory and is
+        unaffected).
         """
         if encoder_ids is not None:
             self.encode(encoder_ids)
@@ -237,7 +285,7 @@ class EncoderDecoderTransformer(Module):
         cross_ready = cache is not None and all(layer.has_cross for layer in cache.layers)
         if memory is None and not cross_ready:
             raise RuntimeError("encode() must be called before forward() without encoder_ids")
-        positions = _decode_positions(cache, batch, time, self.max_seq_len)
+        positions = _decode_positions(cache, batch, time, self.max_seq_len, position_offsets)
         x = self.token_embedding.forward(decoder_ids) + self.position_embedding.forward(positions)
         # The decoder embeddings overwrite the encoder's cached activations in
         # the shared embedding layers, so the backward pass re-encodes; we keep
@@ -245,7 +293,7 @@ class EncoderDecoderTransformer(Module):
         self._decoder_ids = decoder_ids
         layer_caches = cache.layers if cache is not None else [None] * len(self.decoder_blocks)
         for block, layer_cache in zip(self.decoder_blocks, layer_caches):
-            x = block.forward(x, memory, layer_cache=layer_cache)
+            x = block.forward(x, memory, layer_cache=layer_cache, attn_bias=attn_bias)
         return self.final_norm.forward(x)
 
     def make_cache(self, batch: int = 1, capacity: Optional[int] = None) -> KVCache:

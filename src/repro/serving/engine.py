@@ -15,10 +15,17 @@ lengths (the cache is *ragged*), and every engine step:
 3. **verifies** all candidates of all requests in a single batched cached
    forward: each request's row is tiled once per candidate
    (``KVCache.repeat_rows``), candidate windows are right-padded to a common
-   width, and per-row ``append_widths`` keep the padding out of the cache;
+   width, and per-row ``append_widths`` keep the padding out of the cache.
+   When a request opts into token-tree verification
+   (``GenerationConfig.tree_verify``), its candidates are merged into one
+   prefix-deduplicated tree occupying a *single* row of the shared forward
+   (:mod:`repro.core.token_tree`), with a tree attention bias and per-node
+   position offsets; requests that did not opt in ride along as
+   row-equivalent forests;
 4. **commits** each request's best accepted (and, for ``OURS``,
    fragment-truncated) run, then compacts the cache back to one row per
-   request (``select_rows`` + ``truncate_rows``);
+   request (``compact_rows``, or ``compact_paths`` onto the accepted
+   root-to-leaf path in tree mode);
 5. **retires** finished requests, reclaiming their cache rows and freeing
    scheduler budget so the next step can admit more work.
 
@@ -47,10 +54,17 @@ from repro.core.decoding import (
     DecodingStrategy,
     StepRecord,
     decoder_budget_exceeded,
+    dedupe_candidates,
     max_step_extra,
     pad_candidates,
     propose_candidates,
     select_best_candidate,
+)
+from repro.core.token_tree import (
+    TokenTree,
+    pad_tree_tokens,
+    tree_bias_cached,
+    tree_position_offsets,
 )
 from repro.models.generation import GenerationConfig, sample_from_logits
 from repro.models.medusa import MedusaLM
@@ -276,9 +290,17 @@ class ServingEngine:
             extra = max_step_extra(
                 state.prompt_len, len(state.output_ids), state.remaining_tokens, self.max_seq_len
             )
-            candidates = [c[:extra] for c in candidates]
+            candidates = dedupe_candidates([c[:extra] for c in candidates])
             all_candidates.append(candidates)
             request_widths.append(max(len(c) for c in candidates))
+
+        if any(state.request.config.tree_verify for state in active):
+            # Token trees in the shared forward: one row per *request* instead
+            # of one per candidate.  Requests that did not opt in ride along
+            # as non-deduplicated forests (independent root chains), which
+            # compute exactly what their row-batched layout computes.
+            self._verify_tree_step(active, prefix_lens, all_candidates)
+            return
 
         # One shared verification forward: tile each request's cache row once
         # per candidate and right-pad every candidate window to the widest
@@ -352,6 +374,10 @@ class ServingEngine:
                     accepted=best_accepted,
                     committed=committed,
                     ends_at_boundary=best_tokens[-1] in (self.frag_id, self.eos_id),
+                    # The request's own candidate rows x its own padded width
+                    # (cross-request window padding is a batching artifact and
+                    # is not charged to the request).
+                    verified=len(candidates) * request_widths[index],
                 )
             )
             if self.eos_id in best_tokens:
@@ -375,6 +401,117 @@ class ServingEngine:
         # committed prefix (one fused copy); then reclaim the rows of
         # finished requests.
         self._cache = step_cache.compact_rows(keep_rows, committed_lengths)
+        self._retire_finished()
+
+    def _verify_tree_step(
+        self,
+        active: List[RequestState],
+        prefix_lens: np.ndarray,
+        all_candidates: List[List[List[int]]],
+    ) -> None:
+        """Verify one token tree per in-flight request inside one shared forward.
+
+        Each request keeps exactly one cache row; its candidate tree
+        (prefix-deduplicated when the request's config asks for
+        ``tree_verify``, a row-equivalent forest otherwise) is appended after
+        the row's committed prefix, with a per-row tree attention bias and
+        per-node position offsets.  After acceptance, the cache is compacted
+        to each request's accepted root-to-leaf path
+        (:meth:`~repro.nn.kv_cache.KVCache.compact_paths`).  Committed tokens
+        are identical to the row-batched step and to sequential generate.
+        """
+        trees = [
+            TokenTree.from_candidates(candidates, dedup=state.request.config.tree_verify)
+            for state, candidates in zip(active, all_candidates)
+        ]
+        sizes = [tree.size for tree in trees]
+        window = max(sizes)
+        prefixes = [int(length) for length in prefix_lens]
+        view = max(prefix + size for prefix, size in zip(prefixes, sizes))
+        # One row per request; the step cache lives only for this forward, so
+        # trim its capacity to the step's maximum extent.
+        step_cache = self._cache.repeat_rows(1, capacity=view)
+        tokens = pad_tree_tokens(trees, window)
+        bias = tree_bias_cached(trees, prefixes, window, view)
+        offsets = tree_position_offsets(trees, window)
+        step_cache.set_append_widths(sizes)
+        try:
+            base_v, hidden_v = self.model.forward_hidden(
+                tokens, cache=step_cache, attn_bias=bias, position_offsets=offsets
+            )
+        finally:
+            step_cache.set_append_widths(None)
+
+        any_greedy = any(
+            state.request.config.greedy or state.request.config.temperature <= 0.0 for state in active
+        )
+        argmax_v = np.argmax(base_v, axis=-1) if any_greedy else None
+        paths: List[List[int]] = []
+        last_nodes: List[int] = []
+        for index, state in enumerate(active):
+            tree = trees[index]
+            candidates = all_candidates[index]
+            config = state.request.config
+            # The predictor of candidate token i is its candidate's node i-1;
+            # token 0's predictor is the held last-position logits.
+            if config.greedy or config.temperature <= 0.0:
+                greedy_argmax = [
+                    argmax_v[index, np.asarray(nodes[:-1], dtype=np.int64)] for nodes in tree.candidate_nodes
+                ]
+                logits_lists = None
+            else:
+                greedy_argmax = None
+                logits_lists = [
+                    [state.last_base] + [base_v[index, node] for node in nodes[:-1]]
+                    for nodes in tree.candidate_nodes
+                ]
+            best_tokens, best_accepted, best_row = select_best_candidate(
+                candidates,
+                logits_lists,
+                config,
+                acceptance=self.acceptance,
+                strategy=self.strategy,
+                frag_id=self.frag_id,
+                eos_id=self.eos_id,
+                greedy_argmax=greedy_argmax,
+            )
+            committed = len(best_tokens)
+            state.output_ids.extend(best_tokens)
+            # Requests that did not opt into trees ride along as forests, but
+            # their *stats* keep the row-batched accounting (their own rows x
+            # their own padded width) so a request's reported verified count
+            # never depends on who shares its batch — same rule as the row
+            # step's cross-request padding.
+            if config.tree_verify:
+                verified = tree.size
+            else:
+                verified = len(candidates) * max(len(candidate) for candidate in candidates)
+            state.step_records.append(
+                StepRecord(
+                    proposed=len(candidates[0]),
+                    accepted=best_accepted,
+                    committed=committed,
+                    ends_at_boundary=best_tokens[-1] in (self.frag_id, self.eos_id),
+                    verified=verified,
+                )
+            )
+            if self.eos_id in best_tokens:
+                state.stopped_by_eos = True
+            path = tree.path(best_row, committed)
+            paths.append(path)
+            last_nodes.append(path[-1])
+            state.last_base = base_v[index, path[-1]]
+
+        # One batched Medusa-head evaluation at each request's last committed
+        # node (the only place head logits are ever read).
+        last_hidden = hidden_v[np.arange(len(active)), last_nodes]
+        head_logits = self.model.head_logits_at(last_hidden)
+        for index, state in enumerate(active):
+            state.last_heads = [h[index] for h in head_logits]
+
+        # Compact every row to its committed prefix + accepted path (one
+        # fused copy); then reclaim the rows of finished requests.
+        self._cache = step_cache.compact_paths(list(range(len(active))), prefixes, paths)
         self._retire_finished()
 
     # -- completion ------------------------------------------------------ #

@@ -1,0 +1,124 @@
+"""Tiny dependency-free property-testing helper for the test suite.
+
+A deliberately small substitute for hypothesis: a seeded random case
+generator (:class:`Cases`) plus a shrink-free runner (:func:`for_all`) that
+replays deterministically and reports the failing case index and seed so a
+failure can be reproduced with ``for_all(..., only_case=N)``.
+
+Case counts scale with the environment: property suites run a handful of
+cases locally (fast feedback) and full-size under the ``slow`` pytest marker
+in CI's coverage job (``--runslow`` / ``REPRO_RUN_SLOW=1``); see
+:func:`num_cases`.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+from typing import Callable, List, Optional, Sequence, TypeVar
+
+T = TypeVar("T")
+
+#: Environment switch the CI coverage job sets so the slow, full-size
+#: property runs are selected (mirrors pytest's ``--runslow`` option).
+RUN_SLOW_ENV = "REPRO_RUN_SLOW"
+
+
+def slow_enabled() -> bool:
+    """True when full-size property runs are requested via the environment."""
+    return os.environ.get(RUN_SLOW_ENV, "") == "1"
+
+
+def num_cases(quick: int, full: int) -> int:
+    """Case count for a property: ``quick`` locally, ``full`` in slow runs."""
+    return full if slow_enabled() else quick
+
+
+class Cases:
+    """Seeded random case generator handed to every property function.
+
+    Thin, explicit wrappers around :mod:`random` so properties read as
+    specifications; each case gets its own deterministic stream.
+    """
+
+    def __init__(self, seed: int, case_index: int) -> None:
+        self.case_index = case_index
+        # One independent deterministic stream per (seed, case) pair.
+        self._rng = random.Random(seed * 1_000_003 + case_index)
+
+    def integer(self, low: int, high: int) -> int:
+        """Uniform integer in the inclusive range ``[low, high]``."""
+        return self._rng.randint(low, high)
+
+    def boolean(self, p_true: float = 0.5) -> bool:
+        return self._rng.random() < p_true
+
+    def choice(self, options: Sequence[T]) -> T:
+        return self._rng.choice(list(options))
+
+    def subset(self, options: Sequence[T], size: int) -> List[T]:
+        """A random ``size``-element sample without replacement."""
+        return self._rng.sample(list(options), size)
+
+    def token(self, vocab_size: int) -> int:
+        return self._rng.randrange(vocab_size)
+
+    def token_list(self, length: int, vocab_size: int) -> List[int]:
+        """A random token sequence of exactly ``length`` ids."""
+        return [self._rng.randrange(vocab_size) for _ in range(length)]
+
+    def candidate_set(
+        self,
+        count: int,
+        max_length: int,
+        vocab_size: int,
+        shared_prefix: bool = False,
+        with_duplicates: bool = False,
+    ) -> List[List[int]]:
+        """Random non-empty candidate token lists for tree-verification properties.
+
+        ``shared_prefix`` forces an adversarial common prefix across a random
+        subset of candidates (the case tree dedup exists for);
+        ``with_duplicates`` re-inserts an exact copy of one candidate.
+        """
+        candidates = [
+            self.token_list(self.integer(1, max_length), vocab_size) for _ in range(count)
+        ]
+        if shared_prefix and count >= 2:
+            # prefix is non-empty and max_length >= 1, so the truncated
+            # result is always a valid (non-empty) candidate.
+            prefix = self.token_list(self.integer(1, max_length), vocab_size)
+            for index in self.subset(range(count), self.integer(2, count)):
+                keep = candidates[index][: max(max_length - len(prefix), 0)]
+                candidates[index] = (prefix + keep)[:max_length]
+        if with_duplicates and count >= 2:
+            source, target = self.subset(range(count), 2)
+            candidates[target] = list(candidates[source])
+        return candidates
+
+
+def for_all(
+    cases: int,
+    property_fn: Callable[[Cases], None],
+    seed: int = 0,
+    only_case: Optional[int] = None,
+) -> None:
+    """Run ``property_fn`` over ``cases`` deterministic seeded cases.
+
+    No shrinking: cases are independent and replayable, so a failure report
+    names the case index and seed, and ``only_case`` re-runs exactly that
+    case under a debugger.
+
+    Raises:
+        AssertionError: re-raised from the first failing case, prefixed with
+            the reproduction coordinates.
+    """
+    indices = range(cases) if only_case is None else [only_case]
+    for case_index in indices:
+        try:
+            property_fn(Cases(seed, case_index))
+        except AssertionError as error:
+            raise AssertionError(
+                f"property failed on case {case_index} of {cases} (seed={seed}, "
+                f"reproduce with only_case={case_index}): {error}"
+            ) from error

@@ -9,8 +9,12 @@ mid-flight).  Scheduler admission/eviction ordering is tested in isolation.
 
 from __future__ import annotations
 
+from dataclasses import replace
+
 import numpy as np
 import pytest
+
+from proptest import Cases, for_all, num_cases
 
 from repro.core.decoding import DecodingStrategy
 from repro.models.generation import GenerationConfig
@@ -92,6 +96,49 @@ class TestServingEquivalence:
 
         for request_id, expected in zip(request_ids, sequential):
             assert results[request_id].token_ids == expected.token_ids
+
+    @pytest.mark.parametrize("method,strategy", METHODS)
+    def test_tree_verification_matches_sequential(self, tiny_pipeline, method, strategy):
+        """Tree-mode serving (``GenerationConfig.tree_verify``) commits the
+        same tokens as sequential generate, greedy and sampling mixed."""
+        prompts = _prompts(tiny_pipeline, 6)
+        configs = [
+            GenerationConfig.greedy_config(20, tree_verify=True)
+            if index % 2 == 0
+            else GenerationConfig.sampling_config(0.8, 18, seed=index, tree_verify=True)
+            for index in range(len(prompts))
+        ]
+        decoder = tiny_pipeline.decoder_for(method)
+        sequential = [decoder.generate_from_text(p, c) for p, c in zip(prompts, configs)]
+
+        engine = _engine(tiny_pipeline, method, strategy, max_active_requests=6)
+        request_ids = [engine.submit_text(p, c) for p, c in zip(prompts, configs)]
+        results = engine.run()
+        for request_id, expected in zip(request_ids, sequential):
+            assert results[request_id].token_ids == expected.token_ids
+            assert results[request_id].steps == expected.steps
+
+    def test_mixed_tree_and_row_requests_in_one_batch(self, tiny_pipeline):
+        """Requests that opted into trees and requests that did not share the
+        batched forward; both match their sequential references."""
+        prompts = _prompts(tiny_pipeline, 6)
+        configs = [GenerationConfig.greedy_config(18, tree_verify=(index % 2 == 0)) for index in range(len(prompts))]
+        decoder = tiny_pipeline.decoder_for("ours")
+        sequential = [decoder.generate_from_text(p, c) for p, c in zip(prompts, configs)]
+
+        engine = _engine(tiny_pipeline, "ours", DecodingStrategy.OURS, max_active_requests=3)
+        request_ids = [engine.submit_text(p, c) for p, c in zip(prompts, configs)]
+        results = engine.run()
+        for request_id, expected, config in zip(request_ids, sequential, configs):
+            assert results[request_id].token_ids == expected.token_ids, config
+        # Tree requests verified strictly fewer positions than their
+        # row-batched sequential twin (shared-prefix dedup at work).
+        row_reference = [
+            decoder.generate_from_text(p, replace(c, tree_verify=False)) for p, c in zip(prompts, configs)
+        ]
+        for request_id, reference, config in zip(request_ids, row_reference, configs):
+            if config.tree_verify:
+                assert results[request_id].tokens_verified < reference.tokens_verified
 
     def test_mixed_budgets_per_request(self, tiny_pipeline):
         """Requests with different max_new_tokens finish independently."""
@@ -214,6 +261,72 @@ class TestScheduler:
         assert len(scheduler.admit()) == 3
         assert scheduler.num_running == 3
         assert scheduler.num_waiting == 2
+
+
+class TestSchedulerFuzz:
+    """Random admission/eviction traces must uphold the scheduler invariants.
+
+    * the concatenated admission order is exactly the submission order (FCFS,
+      no overtaking — a small request never starves a big one, and vice
+      versa);
+    * the token budget is respected at every instant, with the single
+      documented exception: one oversized head-of-queue request admitted
+      while the scheduler was idle (the progress guarantee);
+    * the concurrency cap is never exceeded;
+    * every trace drains — no request waits forever once releases keep
+      happening (no starvation).
+    """
+
+    def _check_invariants(self, scheduler: Scheduler, config: SchedulerConfig) -> None:
+        assert scheduler.num_running <= config.max_active_requests
+        if scheduler.tokens_in_flight > config.max_batch_tokens:
+            assert scheduler.num_running == 1, (
+                f"budget exceeded with {scheduler.num_running} running: "
+                f"{scheduler.tokens_in_flight} > {config.max_batch_tokens}"
+            )
+
+    def _run_trace(self, cases: Cases) -> None:
+        config = SchedulerConfig(
+            max_active_requests=cases.integer(1, 4),
+            max_batch_tokens=cases.integer(10, 120),
+        )
+        scheduler = Scheduler(config)
+        total = cases.integer(1, 20)
+        submitted: list = []
+        admitted: list = []
+        pending = total
+        steps = 0
+        while scheduler.has_work or pending > 0:
+            steps += 1
+            assert steps <= 20 * total + 20, "trace did not drain: starvation or deadlock"
+            action = cases.integer(0, 2)
+            if action == 0 and pending > 0:
+                state = _state(
+                    f"r{len(submitted)}",
+                    prompt_len=cases.integer(1, 60),
+                    max_new=cases.integer(1, 60),
+                )
+                submitted.append(state)
+                scheduler.submit(state)
+                pending -= 1
+            elif action == 1:
+                admitted.extend(scheduler.admit())
+                self._check_invariants(scheduler, config)
+            elif scheduler.running:
+                scheduler.release(cases.choice(scheduler.running))
+                self._check_invariants(scheduler, config)
+
+        assert pending == 0 and not scheduler.has_work
+        # FCFS end to end: every request was admitted, in submission order.
+        assert [s.request.request_id for s in admitted] == [s.request.request_id for s in submitted]
+        assert all(state.status is RequestStatus.FINISHED for state in submitted)
+
+    def test_random_traces_quick(self):
+        for_all(num_cases(50, 50), self._run_trace, seed=41)
+
+    @pytest.mark.slow
+    def test_random_traces_full(self):
+        for_all(1500, self._run_trace, seed=42)
 
 
 class TestServingStats:
