@@ -316,6 +316,9 @@ class DecodeResult:
     #: Time spent on the one-off prompt prefill (cached decoding); 0.0 for the
     #: full-recompute path, which has no separable prefill.
     prefill_seconds: float = 0.0
+    #: Prompt positions served from the serving engine's cross-request prefix
+    #: cache instead of being prefilled; always 0 for sequential decoding.
+    prompt_tokens_reused: int = 0
 
     @property
     def decode_seconds(self) -> float:

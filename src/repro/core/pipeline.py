@@ -207,7 +207,7 @@ class VerilogSpecPipeline:
             use_cache=use_cache,
         )
 
-    def engine_for(self, method: str, num_candidates: int = 3, scheduler_config=None):
+    def engine_for(self, method: str, num_candidates: int = 3, scheduler_config=None, prefix_cache=None):
         """Return a continuous-batching :class:`~repro.serving.ServingEngine`.
 
         The engine serves many concurrent requests through one shared batched
@@ -219,6 +219,9 @@ class VerilogSpecPipeline:
             num_candidates: Speculative candidates verified per step.
             scheduler_config: Optional
                 :class:`~repro.serving.SchedulerConfig` with admission knobs.
+            prefix_cache: Optional :class:`~repro.serving.PrefixCache`
+                enabling cross-request prompt-prefix reuse (outputs stay
+                token-identical; only prefill work changes).
 
         Returns:
             A fresh engine wrapping the trained model for ``method``.
@@ -233,4 +236,5 @@ class VerilogSpecPipeline:
             strategy=METHOD_STRATEGIES[method],
             num_candidates=num_candidates,
             scheduler_config=scheduler_config,
+            prefix_cache=prefix_cache,
         )

@@ -52,6 +52,13 @@ class ThroughputReport:
         tokens_per_second: ``total_tokens / wall_seconds``.
         mean_latency / p50_latency / p95_latency: Submission-to-completion
             latency statistics in seconds (queueing included).
+        prefill_tokens: Prompt tokens actually run through prefill forwards.
+        reused_tokens: Prompt tokens served from the cross-request prefix
+            cache instead of being prefilled (0 without a prefix cache).
+        prefix_hit_rate: Fraction of prefix-cache lookups that reused at
+            least one token (0.0 when no prefix cache is attached).
+        prefill_savings: ``reused / (reused + prefilled)`` — the fraction of
+            prompt positions whose prefill compute was avoided.
     """
 
     label: str
@@ -64,6 +71,10 @@ class ThroughputReport:
     p50_latency: float
     p95_latency: float
     latencies: List[float] = field(default_factory=list)
+    prefill_tokens: int = 0
+    reused_tokens: int = 0
+    prefix_hit_rate: float = 0.0
+    prefill_savings: float = 0.0
 
     @classmethod
     def from_latencies(
@@ -95,6 +106,10 @@ class ThroughputReport:
             "mean_latency": self.mean_latency,
             "p50_latency": self.p50_latency,
             "p95_latency": self.p95_latency,
+            "prefill_tokens": self.prefill_tokens,
+            "reused_tokens": self.reused_tokens,
+            "prefix_hit_rate": self.prefix_hit_rate,
+            "prefill_savings": self.prefill_savings,
         }
 
 
@@ -126,6 +141,11 @@ def measure_serving_throughput(
     latencies = [engine.scheduler_latency(request_id) for request_id in request_ids]
     total_tokens = sum(result.tokens_generated for result in results)
     report = ThroughputReport.from_latencies(label, len(results), total_tokens, wall, latencies)
+    cache_stats = engine.prefix_cache_stats()
+    report.prefill_tokens = cache_stats["prompt_tokens_prefilled"]
+    report.reused_tokens = cache_stats["prompt_tokens_reused"]
+    report.prefix_hit_rate = cache_stats["hit_rate"]
+    report.prefill_savings = cache_stats["prefill_savings"]
     return report, results
 
 

@@ -40,6 +40,17 @@ serving engine drives this through the multi-row generalisations:
   the incoming window positions are real per row (the rest are right-padding
   that must not be stored).
 
+**Cross-request prefix reuse** (:mod:`repro.serving.prefix_cache`) retains the
+K/V of recently served prompt prefixes and splices them into the rows of new
+requests, so shared prompt preambles are prefilled once instead of once per
+request.  Two segment operations support it:
+
+* ``gather_prefix(row, length)`` — detach the first ``length`` positions of a
+  row into a standalone :class:`KVSegment` (the unit the prefix cache
+  retains);
+* ``splice_prefix(row, segment)`` — copy a retained segment into a fresh row,
+  so the subsequent prefill forward only covers the prompt suffix.
+
 Cross-attention K/V (encoder-decoder models) is position-independent on the
 decoder side, so each layer slot can additionally hold the projected encoder
 memory, computed once at prefill and reused for every decode step.
@@ -130,6 +141,69 @@ class LayerKVCache:
     @property
     def has_cross(self) -> bool:
         return self.cross_k is not None
+
+
+class KVSegment:
+    """Detached per-layer K/V copy of one cache row's prefix.
+
+    The unit of storage of the cross-request prefix cache
+    (:mod:`repro.serving.prefix_cache`): the keys/values a row computed for a
+    prompt prefix, gathered out of the live cache with
+    :meth:`KVCache.gather_prefix` and spliced into a fresh row with
+    :meth:`KVCache.splice_prefix`.  Because causal attention makes position
+    ``i``'s K/V depend only on tokens ``0..i``, a segment gathered for one
+    prompt is byte-for-byte what any other prompt sharing that prefix would
+    compute — reuse is a pure compute-layout change.
+
+    Each layer holds arrays of shape ``(num_heads, length, head_dim)``.
+    """
+
+    def __init__(self, k_layers: List[np.ndarray], v_layers: List[np.ndarray]) -> None:
+        if len(k_layers) != len(v_layers) or not k_layers:
+            raise ValueError("KVSegment needs matching, non-empty per-layer K and V lists")
+        first = k_layers[0]
+        for arr in list(k_layers) + list(v_layers):
+            if arr.shape != first.shape:
+                raise ValueError("all KVSegment layers must share one (heads, length, head_dim) shape")
+        self.k_layers = list(k_layers)
+        self.v_layers = list(v_layers)
+
+    @property
+    def num_layers(self) -> int:
+        return len(self.k_layers)
+
+    @property
+    def num_heads(self) -> int:
+        return self.k_layers[0].shape[0]
+
+    @property
+    def length(self) -> int:
+        """Number of cached prefix positions the segment covers."""
+        return self.k_layers[0].shape[1]
+
+    @property
+    def head_dim(self) -> int:
+        return self.k_layers[0].shape[2]
+
+    @property
+    def nbytes(self) -> int:
+        """Total storage of the segment (K and V, all layers)."""
+        return sum(arr.nbytes for arr in self.k_layers) + sum(arr.nbytes for arr in self.v_layers)
+
+    def head(self, length: int) -> "KVSegment":
+        """A view of the segment's first ``length`` positions (no copy).
+
+        The prefix cache serves partial matches with this: an entry retained
+        for prompt ``A`` answers a lookup for prompt ``B`` sharing only the
+        first ``length`` tokens.  Views are safe because consumers only ever
+        read a segment (:meth:`KVCache.splice_prefix` copies).
+        """
+        if not 0 <= length <= self.length:
+            raise ValueError(f"head length {length} out of range [0, {self.length}]")
+        return KVSegment(
+            [k[:, :length] for k in self.k_layers],
+            [v[:, :length] for v in self.v_layers],
+        )
 
 
 class KVCache:
@@ -267,6 +341,59 @@ class KVCache:
                 layer.k[0, :, prefix_len:new_length] = layer.k[0][:, prefix_len + index]
                 layer.v[0, :, prefix_len:new_length] = layer.v[0][:, prefix_len + index]
             layer.lengths = np.full_like(layer.lengths, new_length)
+
+    # -- prefix-reuse segment operations ---------------------------------------
+
+    def gather_prefix(self, row: int, length: int) -> KVSegment:
+        """Detach the first ``length`` cached positions of ``row`` into a segment.
+
+        The serving engine gathers a request's prompt-prefix K/V out of its
+        freshly prefilled row so the prefix cache can retain it after the row
+        itself is merged, compacted and eventually reclaimed.  The segment is
+        a copy — it stays valid however the source cache is reshaped later.
+        """
+        if not 0 <= row < self.batch:
+            raise IndexError(f"row {row} out of range for batch {self.batch}")
+        if length < 0 or length > int(self.layers[0].lengths[row]):
+            raise ValueError(
+                f"prefix length {length} out of range [0, {int(self.layers[0].lengths[row])}] for row {row}"
+            )
+        if any(layer.has_cross for layer in self.layers):
+            raise ValueError("gather_prefix does not support cross-attention caches")
+        return KVSegment(
+            [layer.k[row, :, :length].copy() for layer in self.layers],
+            [layer.v[row, :, :length].copy() for layer in self.layers],
+        )
+
+    def splice_prefix(self, row: int, segment: KVSegment) -> None:
+        """Copy a retained segment into fresh ``row``, making it the row's prefix.
+
+        After the splice the row behaves exactly as if its first
+        ``segment.length`` tokens had just been prefilled: appends continue at
+        ``segment.length`` and attention sees the spliced K/V as cached past.
+        The row must be empty (length 0) — splicing is an admission-time
+        operation, not a general overwrite.
+        """
+        if not 0 <= row < self.batch:
+            raise IndexError(f"row {row} out of range for batch {self.batch}")
+        if int(self.layers[0].lengths[row]) != 0:
+            raise ValueError(
+                f"splice_prefix requires a fresh row, but row {row} already holds "
+                f"{int(self.layers[0].lengths[row])} positions"
+            )
+        if segment.num_layers != self.num_layers:
+            raise ValueError(f"segment has {segment.num_layers} layers, cache has {self.num_layers}")
+        if segment.num_heads != self.num_heads or segment.head_dim != self.head_dim:
+            raise ValueError(
+                f"segment geometry ({segment.num_heads} heads x {segment.head_dim}) does not match "
+                f"cache ({self.num_heads} heads x {self.head_dim})"
+            )
+        if segment.length > self.capacity:
+            raise ValueError(f"segment length {segment.length} exceeds cache capacity {self.capacity}")
+        for layer, k_seg, v_seg in zip(self.layers, segment.k_layers, segment.v_layers):
+            layer.k[row, :, : segment.length] = k_seg
+            layer.v[row, :, : segment.length] = v_seg
+            layer.lengths[row] = segment.length
 
     # -- multi-request serving operations -------------------------------------
 

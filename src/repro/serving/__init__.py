@@ -6,7 +6,11 @@ throughput-oriented engine:
 * :mod:`repro.serving.request` — :class:`GenerationRequest` /
   :class:`RequestState`, the unit of work and its lifecycle;
 * :mod:`repro.serving.scheduler` — FCFS continuous-batching admission under
-  a token budget (:class:`Scheduler`, :class:`SchedulerConfig`);
+  a token budget, with optional chunked-prefill pacing (:class:`Scheduler`,
+  :class:`SchedulerConfig`);
+* :mod:`repro.serving.prefix_cache` — cross-request prompt-prefix reuse: a
+  token trie over retained KV segments, LRU-evicted under a token/byte
+  budget (:class:`PrefixCache`);
 * :mod:`repro.serving.engine` — :class:`ServingEngine`, which steps every
   in-flight request through one shared batched forward per iteration and is
   token-identical to sequential :meth:`SpeculativeDecoder.generate`.
@@ -15,11 +19,14 @@ See ``docs/serving.md`` for the design discussion.
 """
 
 from repro.serving.engine import ServingEngine
+from repro.serving.prefix_cache import PrefixCache, PrefixCacheStats
 from repro.serving.request import GenerationRequest, RequestState, RequestStatus
 from repro.serving.scheduler import Scheduler, SchedulerConfig
 
 __all__ = [
     "GenerationRequest",
+    "PrefixCache",
+    "PrefixCacheStats",
     "RequestState",
     "RequestStatus",
     "Scheduler",

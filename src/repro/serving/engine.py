@@ -8,7 +8,14 @@ lengths (the cache is *ragged*), and every engine step:
 
 1. **admits** queued requests the :class:`~repro.serving.scheduler.Scheduler`
    lets in, prefilling each prompt once and merging the new row into the
-   shared cache (``KVCache.concat``);
+   shared cache (``KVCache.concat``).  With a
+   :class:`~repro.serving.prefix_cache.PrefixCache` attached, the longest
+   retained prefix of the prompt is spliced into the fresh row
+   (``KVCache.splice_prefix``) and only the suffix is prefilled; with
+   ``SchedulerConfig.max_prefill_tokens_per_step`` set, that prefill is
+   paced in fixed-token chunks interleaved with decode steps (requests wait
+   in the ``PREFILLING`` status) so long prompts never stall the in-flight
+   batch;
 2. **proposes** speculative candidates per request from the logits held at
    its last committed position (identical logic to the sequential decoder —
    the per-step functions are shared via :mod:`repro.core.decoding`);
@@ -69,7 +76,8 @@ from repro.core.token_tree import (
 from repro.models.generation import GenerationConfig, sample_from_logits
 from repro.models.medusa import MedusaLM
 from repro.nn.kv_cache import KVCache
-from repro.serving.request import GenerationRequest, RequestState
+from repro.serving.prefix_cache import PrefixCache
+from repro.serving.request import GenerationRequest, RequestState, RequestStatus
 from repro.serving.scheduler import Scheduler, SchedulerConfig
 from repro.tokenizer.bpe import BPETokenizer
 
@@ -91,6 +99,11 @@ class ServingEngine:
             (defaults to all heads the model has).
         scheduler_config: Admission/fairness knobs; see
             :class:`~repro.serving.scheduler.SchedulerConfig`.
+        prefix_cache: Optional cross-request
+            :class:`~repro.serving.prefix_cache.PrefixCache`.  When given,
+            admission reuses the longest retained prompt prefix instead of
+            re-prefilling it, and every completed prefill is retained for
+            later requests.  ``None`` (the default) disables reuse.
     """
 
     def __init__(
@@ -102,6 +115,7 @@ class ServingEngine:
         num_candidates: int = 3,
         max_speculative_heads: Optional[int] = None,
         scheduler_config: Optional[SchedulerConfig] = None,
+        prefix_cache: Optional[PrefixCache] = None,
     ) -> None:
         if model.is_encoder_decoder:
             raise ValueError(
@@ -119,6 +133,20 @@ class ServingEngine:
             else min(max_speculative_heads, model.num_medusa_heads)
         )
         self.scheduler = Scheduler(scheduler_config or SchedulerConfig())
+        self.prefix_cache = prefix_cache
+        if prefix_cache is not None:
+            # Retained K/V is model-specific; binding rejects accidentally
+            # sharing one cache across engines that wrap different models.
+            prefix_cache.bind(model)
+        #: Prompt tokens actually run through prefill forwards / served from
+        #: retained K/V instead — the bench's prefill-savings numerator and
+        #: denominator.  Counted per engine (a shared PrefixCache carries its
+        #: own cache-lifetime counters), so reports stay scoped to this
+        #: engine's traffic.
+        self.tokens_prefilled_total = 0
+        self.tokens_reused_total = 0
+        self.prefix_hits = 0
+        self.prefix_misses = 0
         vocab = tokenizer.vocab
         self.frag_id = vocab.frag_id
         self.eos_id = vocab.eos_id
@@ -127,6 +155,9 @@ class ServingEngine:
         #: Shared ragged cache: one row per entry of ``_active`` (same order).
         self._cache: Optional[KVCache] = None
         self._active: List[RequestState] = []
+        #: Admitted requests whose prompts are still entering their private
+        #: batch-1 caches (chunked prefill); FCFS order.
+        self._prefilling: List[RequestState] = []
         self._states: Dict[str, RequestState] = {}
         self._results: Dict[str, DecodeResult] = {}
         self._next_id = 0
@@ -141,19 +172,39 @@ class ServingEngine:
         config: Optional[GenerationConfig] = None,
         request_id: Optional[str] = None,
     ) -> str:
-        """Queue a tokenized prompt for generation; returns the request id."""
+        """Queue a tokenized prompt for generation; returns the request id.
+
+        Validation happens here, at the submission boundary, rather than
+        surfacing later as an obscure failure deep inside prefill: empty
+        prompts and out-of-vocabulary token ids raise immediately (negative
+        ids would otherwise wrap around the embedding table silently), and a
+        duplicate ``request_id`` raises instead of clobbering the earlier
+        request's result.  Auto-assigned ids skip over any ids the caller
+        already used.
+        """
         prompt = list(prompt_ids)
         if not prompt:
             raise ValueError("cannot serve an empty prompt")
+        vocab_size = self.model.vocab_size
+        for token in prompt:
+            if not 0 <= int(token) < vocab_size:
+                raise ValueError(
+                    f"prompt token id {int(token)} outside the model vocabulary [0, {vocab_size})"
+                )
         if request_id is None:
+            while f"req-{self._next_id}" in self._states:
+                self._next_id += 1
             request_id = f"req-{self._next_id}"
             self._next_id += 1
+        elif not request_id:
+            raise ValueError("request_id must be a non-empty string (or None to auto-assign)")
         if request_id in self._states:
             raise ValueError(f"duplicate request id {request_id!r}")
         request = GenerationRequest(
             request_id=request_id,
             prompt_ids=prompt,
             config=config or GenerationConfig.greedy_config(),
+            context_limit=self.max_seq_len,
         )
         state = RequestState(request=request, submitted_at=time.perf_counter())
         self._states[request_id] = state
@@ -178,6 +229,38 @@ class ServingEngine:
     def num_active(self) -> int:
         return len(self._active)
 
+    @property
+    def num_prefilling(self) -> int:
+        """Admitted requests whose prompts are still entering the cache."""
+        return len(self._prefilling)
+
+    def prefix_cache_stats(self) -> dict:
+        """Prefill accounting: reuse hit rate and prefilled-vs-reused tokens.
+
+        Every number is scoped to *this engine's* traffic — a
+        :class:`~repro.serving.prefix_cache.PrefixCache` may be shared
+        between engines wrapping the same model, and mixing its
+        cache-lifetime counters into a per-engine report would silently
+        disagree with the per-engine token columns (the cache's own view
+        stays available as ``engine.prefix_cache.stats``).  Meaningful with
+        or without an attached cache: the no-reuse baseline reports its
+        total prefilled prompt tokens here too, which is what the
+        shared-prefix bench compares against.
+        """
+        reused = self.tokens_reused_total
+        prefilled = self.tokens_prefilled_total
+        total = reused + prefilled
+        lookups = self.prefix_hits + self.prefix_misses
+        return {
+            "enabled": self.prefix_cache is not None,
+            "prompt_tokens_prefilled": prefilled,
+            "prompt_tokens_reused": reused,
+            "prefill_savings": reused / total if total else 0.0,
+            "hits": self.prefix_hits,
+            "misses": self.prefix_misses,
+            "hit_rate": self.prefix_hits / lookups if lookups else 0.0,
+        }
+
     def result(self, request_id: str) -> DecodeResult:
         """Result of a finished request (KeyError while still in flight)."""
         return self._results[request_id]
@@ -197,8 +280,9 @@ class ServingEngine:
     # ------------------------------------------------------------------ #
 
     def step(self) -> None:
-        """Admit what fits, then advance every running request by one step."""
+        """Admit what fits, advance prefills a chunk, then step every running request."""
         self._admit()
+        self._advance_prefill()
         if not self._active:
             return
         if self.strategy is DecodingStrategy.NTP or self.model.num_medusa_heads == 0:
@@ -206,13 +290,19 @@ class ServingEngine:
         else:
             self._step_speculative()
 
-    # -- admission ------------------------------------------------------ #
+    # -- admission and prefill ------------------------------------------- #
 
     def _admit(self) -> None:
-        """Prefill newly admitted requests and merge their rows into the shared cache."""
-        admitted = self.scheduler.admit()
-        new_caches: List[KVCache] = []
-        for state in admitted:
+        """Move newly admitted requests into prefill, splicing any reusable prefix.
+
+        Each admitted request gets a fresh batch-1 cache row.  With a prefix
+        cache attached, the longest retained prefix of the prompt (capped at
+        ``prompt_len - 1`` so the suffix forward always produces the
+        last-position logits that seed decoding) is copied in via
+        :meth:`~repro.nn.kv_cache.KVCache.splice_prefix`; the request then
+        only prefills its suffix.
+        """
+        for state in self.scheduler.admit():
             state.started_at = time.perf_counter()
             prompt = state.request.prompt_ids
             if decoder_budget_exceeded(len(prompt), 0, 1, self.max_seq_len):
@@ -220,20 +310,82 @@ class ServingEngine:
                 # empty output, exactly like sequential generate.
                 self._finish(state)
                 continue
-            row_cache = self.model.new_cache()
-            prefill_start = time.perf_counter()
-            base_logits, hidden = self.model.forward_hidden(
-                np.asarray([prompt], dtype=np.int64), cache=row_cache
-            )
-            state.last_base = base_logits[0, -1]
-            state.last_heads = [h[0] for h in self.model.head_logits_at(hidden[:, -1])]
-            state.prefill_seconds = time.perf_counter() - prefill_start
+            state.row_cache = self.model.new_cache()
             state.rng = np.random.default_rng(state.request.config.seed)
-            new_caches.append(row_cache)
+            if self.prefix_cache is not None:
+                matched, segment = self.prefix_cache.lookup(prompt, limit=len(prompt) - 1)
+                if matched:
+                    state.row_cache.splice_prefix(0, segment)
+                    state.prefill_pos = matched
+                    state.tokens_reused = matched
+                    self.tokens_reused_total += matched
+                    self.prefix_hits += 1
+                else:
+                    self.prefix_misses += 1
+            self._prefilling.append(state)
+
+    def _advance_prefill(self) -> None:
+        """Prefill prompt chunks under the per-step budget; activate finished prompts.
+
+        ``SchedulerConfig.max_prefill_tokens_per_step`` bounds the prompt
+        tokens forwarded this step, FCFS across prefilling requests (``None``
+        = prefill whole prompts immediately, the unchunked behaviour).
+        Chunking is a pure compute-layout change: a chunk's forward attends
+        over the cached earlier chunks exactly as those positions attend in a
+        monolithic prefill, so the resulting K/V and last-position logits are
+        identical.
+
+        A request whose last prompt token was forwarded takes its Medusa-head
+        logits from that final chunk, has its prompt retained in the prefix
+        cache, and joins the running batch (its private row is merged into
+        the shared cache).  ``prefill_seconds`` accumulates only the model
+        forwards (plus the final head evaluation), matching sequential
+        decoding's ``DecodeResult.prefill_seconds``; splicing, retention and
+        scheduling bookkeeping are excluded.
+        """
+        if not self._prefilling:
+            return
+        budget = self.scheduler.prefill_budget_per_step
+        still_prefilling: List[RequestState] = []
+        ready: List[RequestState] = []
+        for state in self._prefilling:
+            prompt = state.request.prompt_ids
+            # At most one forward per prefilling request per step: the chunk
+            # either finishes the prompt or exhausts the step budget.
+            if state.prefill_pos < len(prompt) and (budget is None or budget > 0):
+                chunk_len = len(prompt) - state.prefill_pos
+                if budget is not None:
+                    chunk_len = min(chunk_len, budget)
+                    budget -= chunk_len
+                chunk = np.asarray(
+                    [prompt[state.prefill_pos : state.prefill_pos + chunk_len]], dtype=np.int64
+                )
+                forward_start = time.perf_counter()
+                base_logits, hidden = self.model.forward_hidden(chunk, cache=state.row_cache)
+                if state.prefill_pos + chunk_len == len(prompt):
+                    state.last_base = base_logits[0, -1]
+                    state.last_heads = [h[0] for h in self.model.head_logits_at(hidden[:, -1])]
+                state.prefill_seconds += time.perf_counter() - forward_start
+                state.prefill_pos += chunk_len
+                self.tokens_prefilled_total += chunk_len
+            if state.prefill_pos == len(prompt):
+                ready.append(state)
+            else:
+                still_prefilling.append(state)
+        self._prefilling = still_prefilling
+        if not ready:
+            return
+        new_caches: List[KVCache] = []
+        for state in ready:
+            prompt = state.request.prompt_ids
+            if self.prefix_cache is not None and self.prefix_cache.would_retain(prompt):
+                self.prefix_cache.insert(prompt, state.row_cache.gather_prefix(0, len(prompt)))
+            state.status = RequestStatus.RUNNING
+            new_caches.append(state.row_cache)
+            state.row_cache = None
             self._active.append(state)
-        if new_caches:
-            existing = [self._cache] if self._cache is not None and self._cache.batch > 0 else []
-            self._cache = KVCache.concat(existing + new_caches)
+        existing = [self._cache] if self._cache is not None and self._cache.batch > 0 else []
+        self._cache = KVCache.concat(existing + new_caches)
 
     # -- NTP: one committed token per request per step ------------------- #
 

@@ -1,0 +1,314 @@
+"""Cross-request prompt-prefix reuse: a token-trie over retained KV segments.
+
+Real serving workloads re-send the same prompt preamble over and over — the
+eval benches in :mod:`repro.evalbench.rtllm` / :mod:`repro.evalbench.vgen`
+are exactly this shape: many problems sharing one long task instruction.
+Without reuse, every admission prefills that preamble from scratch; with a
+batch of ``N`` requests over ``K`` distinct preambles, ``N - K`` prefills are
+redundant compute.
+
+:class:`PrefixCache` removes them.  It keeps recently served prompts in a
+token trie; each retained prompt owns a :class:`~repro.nn.kv_cache.KVSegment`
+(the per-layer K/V its prefill computed, detached from the live cache).  On
+admission the engine asks for the longest retained prefix of the new prompt:
+
+* the trie walk follows the new prompt's tokens as far as any retained
+  prompt's path reaches — the match may be *partial* (two prompts sharing
+  only their first ``m`` tokens still reuse those ``m`` positions), because
+  causal attention makes position ``i``'s K/V depend only on tokens
+  ``0..i``;
+* the matched segment prefix is spliced into the request's fresh cache row
+  (:meth:`KVCache.splice_prefix`) and only the prompt *suffix* is prefilled.
+
+Retention is bounded: entries are LRU-evicted once the summed retained
+tokens (or bytes) exceed the configured budget.  Eviction removes the
+entry's trie path; nodes shared with surviving entries stay, so partial
+matches through shared preambles keep working.
+
+Cost model: each retained prompt owns an independent whole-prompt segment,
+so a preamble shared by ``N`` retained prompts is stored (and charged
+against the budget) ``N`` times — size ``max_tokens`` for the *summed*
+prompt lengths you want resident, not for the number of distinct preambles.
+Sharing segment storage per trie edge (paged/block K/V, vLLM-style) would
+cut that to once per preamble and is the natural next step if retention
+budgets become the bottleneck; it changes storage only, not the lookup or
+eviction semantics.
+
+Reuse is a pure compute-layout change — the spliced K/V is byte-for-byte
+what prefilling the prefix would recompute — so engine outputs stay
+token-identical with the cache enabled (asserted in ``tests/test_serving.py``
+and the golden fixtures).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence, Set, Tuple
+
+from repro.nn.kv_cache import KVSegment
+
+TokenKey = Tuple[int, ...]
+
+
+@dataclass
+class PrefixCacheStats:
+    """Lookup/retention counters of one :class:`PrefixCache`.
+
+    Attributes:
+        hits: Lookups that matched at least one retained token.
+        misses: Lookups that matched nothing.
+        tokens_reused: Prompt positions served from retained K/V instead of
+            being prefilled (summed over hits).
+        insertions: Entries retained (re-inserting a known prompt only
+            refreshes its LRU position and does not count).
+        evictions: Entries dropped to keep retention under budget.
+    """
+
+    hits: int = 0
+    misses: int = 0
+    tokens_reused: int = 0
+    insertions: int = 0
+    evictions: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups that reused at least one token (0.0 when idle)."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": self.hit_rate,
+            "tokens_reused": self.tokens_reused,
+            "insertions": self.insertions,
+            "evictions": self.evictions,
+        }
+
+
+class _TrieNode:
+    """One token of a retained prompt path.
+
+    ``entries`` holds the keys of every retained prompt whose path passes
+    through this node; the node exists exactly while that set is non-empty,
+    so reaching a node during lookup guarantees a usable entry.  All entries
+    passing through a depth-``m`` node share their first ``m`` tokens — and
+    therefore (causal attention) the K/V of those ``m`` positions — so any
+    of them can serve a partial match ending here.
+    """
+
+    __slots__ = ("children", "entries")
+
+    def __init__(self) -> None:
+        self.children: Dict[int, _TrieNode] = {}
+        self.entries: Set[TokenKey] = set()
+
+
+@dataclass
+class _Entry:
+    tokens: TokenKey
+    segment: KVSegment
+
+
+@dataclass
+class PrefixCache:
+    """LRU token-trie of retained prompt prefixes and their KV segments.
+
+    Args:
+        max_tokens: Retention budget as summed retained prompt tokens.  A
+            prompt longer than the whole budget is simply not retained.
+        max_bytes: Optional additional budget on summed segment storage
+            (K and V, all layers); ``None`` leaves bytes unbounded.  The
+            token and byte budgets are both enforced — eviction runs until
+            the cache satisfies every configured bound.
+    """
+
+    max_tokens: int = 4096
+    max_bytes: Optional[int] = None
+    stats: PrefixCacheStats = field(default_factory=PrefixCacheStats)
+
+    def __post_init__(self) -> None:
+        if self.max_tokens < 1:
+            raise ValueError(f"max_tokens must be positive, got {self.max_tokens}")
+        if self.max_bytes is not None and self.max_bytes < 1:
+            raise ValueError(f"max_bytes must be positive, got {self.max_bytes}")
+        #: Retained entries, least-recently-used first.
+        self._entries: "OrderedDict[TokenKey, _Entry]" = OrderedDict()
+        self._root = _TrieNode()
+        self._num_tokens = 0
+        self._num_bytes = 0
+        self._owner: Optional[object] = None
+
+    def bind(self, owner: object) -> None:
+        """Tie the cache to one model; re-binding to a different model raises.
+
+        Retained K/V carries no record of which weights produced it, and
+        :meth:`KVCache.splice_prefix` can only validate *geometry* — two
+        different models with the same layer/head shape would silently accept
+        each other's segments and corrupt outputs.  The serving engine calls
+        this at construction, so sharing one cache between engines is allowed
+        exactly when they wrap the same model object.
+        """
+        if self._owner is None:
+            self._owner = owner
+        elif self._owner is not owner:
+            raise ValueError(
+                "PrefixCache is already bound to a different model; retained K/V is "
+                "model-specific, so each model needs its own cache"
+            )
+
+    # -- inspection ----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def num_tokens(self) -> int:
+        """Summed token count of all retained entries."""
+        return self._num_tokens
+
+    @property
+    def num_bytes(self) -> int:
+        """Summed segment storage of all retained entries."""
+        return self._num_bytes
+
+    def __contains__(self, tokens: Sequence[int]) -> bool:
+        return tuple(tokens) in self._entries
+
+    # -- lookup --------------------------------------------------------------
+
+    def lookup(self, tokens: Sequence[int], limit: Optional[int] = None) -> Tuple[int, Optional[KVSegment]]:
+        """Longest retained prefix of ``tokens``, as ``(matched_len, segment_view)``.
+
+        Walks the trie along ``tokens`` (at most ``limit`` of them) as deep as
+        any retained path reaches and returns a zero-copy view of a matching
+        entry's first ``matched_len`` positions, refreshing that entry's LRU
+        position.  ``(0, None)`` on a miss.
+
+        The serving engine passes ``limit=len(prompt) - 1`` so at least one
+        prompt token is always prefilled — the forward over the suffix is
+        what produces the last-position logits that seed decoding.
+        """
+        depth = 0
+        node = self._root
+        bound = len(tokens) if limit is None else min(limit, len(tokens))
+        for token in tokens[:bound]:
+            child = node.children.get(int(token))
+            if child is None:
+                break
+            node = child
+            depth += 1
+        if depth == 0:
+            self.stats.misses += 1
+            return 0, None
+        # Every entry through this node shares (and its segment covers) the
+        # first ``depth`` tokens, so any member serves the match; an O(1)
+        # arbitrary pick keeps the hot admission path independent of how many
+        # entries share the preamble.  The touch refreshes that entry's LRU
+        # slot — which equally-valid member gets refreshed is immaterial.
+        key = next(iter(node.entries))
+        entry = self._entries[key]
+        self._entries.move_to_end(key)
+        self.stats.hits += 1
+        self.stats.tokens_reused += depth
+        return depth, entry.segment.head(depth)
+
+    # -- retention -----------------------------------------------------------
+
+    def would_retain(self, tokens: Sequence[int]) -> bool:
+        """Cheap pre-check: would :meth:`insert` store a new entry for ``tokens``?
+
+        Lets the engine skip gathering a prompt's K/V out of the live cache
+        (a full per-layer copy) when the insert would be discarded anyway.
+        An exact duplicate refreshes its LRU position here, preserving
+        :meth:`insert`'s touch-on-reinsert semantics.  The byte budget cannot
+        be checked without the segment, so a byte-only overflow is still
+        caught inside :meth:`insert`.
+        """
+        key = tuple(int(token) for token in tokens)
+        if not key or len(key) > self.max_tokens:
+            return False
+        if key in self._entries:
+            self._entries.move_to_end(key)
+            return False
+        return True
+
+    def insert(self, tokens: Sequence[int], segment: KVSegment) -> bool:
+        """Retain ``segment`` as the K/V of prompt ``tokens``; returns True if stored.
+
+        The segment must cover exactly ``len(tokens)`` positions.  Re-inserting
+        a retained prompt refreshes its LRU position without copying.  Prompts
+        that alone exceed a budget are not retained (retaining then instantly
+        evicting everything else would just thrash).  After a successful
+        insert, least-recently-used entries are evicted until every configured
+        budget holds again.
+        """
+        key = tuple(int(token) for token in tokens)
+        if not key:
+            return False
+        if segment.length != len(key):
+            raise ValueError(f"segment covers {segment.length} positions for a {len(key)}-token prompt")
+        if key in self._entries:
+            self._entries.move_to_end(key)
+            return False
+        if len(key) > self.max_tokens:
+            return False
+        if self.max_bytes is not None and segment.nbytes > self.max_bytes:
+            return False
+        entry = _Entry(tokens=key, segment=segment)
+        self._entries[key] = entry
+        node = self._root
+        for token in key:
+            node = node.children.setdefault(token, _TrieNode())
+            node.entries.add(key)
+        self._num_tokens += len(key)
+        self._num_bytes += segment.nbytes
+        self.stats.insertions += 1
+        self._evict_to_budget(keep=key)
+        return True
+
+    def _evict_to_budget(self, keep: Optional[TokenKey] = None) -> None:
+        # ``keep`` (the just-inserted entry) sits at the MRU tail, so the LRU
+        # head can only be it once everything else is gone — which the loop
+        # bound already forbids; insert's own budget pre-checks guarantee a
+        # sole surviving entry fits.
+        while self._over_budget() and len(self._entries) > (1 if keep in self._entries else 0):
+            self._remove(next(iter(self._entries)))
+
+    def _over_budget(self) -> bool:
+        if self._num_tokens > self.max_tokens:
+            return True
+        return self.max_bytes is not None and self._num_bytes > self.max_bytes
+
+    def _remove(self, key: TokenKey) -> None:
+        entry = self._entries.pop(key)
+        self._num_tokens -= len(key)
+        self._num_bytes -= entry.segment.nbytes
+        self.stats.evictions += 1
+        # Unlink the entry from its trie path, pruning nodes no surviving
+        # entry passes through (leaf-to-root, so parents see updated children).
+        path = [self._root]
+        node = self._root
+        for token in key:
+            node = node.children[token]
+            path.append(node)
+        for node in path[1:]:
+            node.entries.discard(key)
+        for depth in range(len(key), 0, -1):
+            node = path[depth]
+            if node.entries or node.children:
+                break
+            del path[depth - 1].children[key[depth - 1]]
+
+    def clear(self) -> None:
+        """Drop every retained entry (counts as evictions in the stats)."""
+        for key in list(self._entries):
+            self._remove(key)
+
+
+__all__ = ["PrefixCache", "PrefixCacheStats"]

@@ -6,8 +6,11 @@ The engine wraps each submitted request in a mutable :class:`RequestState`
 that accumulates output tokens, per-step records and timing while the request
 moves through the :class:`~repro.serving.scheduler.Scheduler` states:
 
-``QUEUED`` (waiting for admission) → ``RUNNING`` (owns a row of the shared
-KV cache) → ``FINISHED`` (result available).
+``QUEUED`` (waiting for admission) → ``PREFILLING`` (admitted; prompt
+entering its cache row, possibly one chunk per step) → ``RUNNING`` (owns a
+row of the shared KV cache) → ``FINISHED`` (result available).  Requests
+whose whole prompt prefills at admission pass through ``PREFILLING``
+instantaneously.
 """
 
 from __future__ import annotations
@@ -20,12 +23,14 @@ import numpy as np
 
 from repro.core.decoding import DecodeResult, StepRecord
 from repro.models.generation import GenerationConfig
+from repro.nn.kv_cache import KVCache
 
 
 class RequestStatus(enum.Enum):
     """Lifecycle of a request inside the serving engine."""
 
     QUEUED = "queued"
+    PREFILLING = "prefilling"
     RUNNING = "running"
     FINISHED = "finished"
 
@@ -41,16 +46,32 @@ class GenerationRequest:
             ``tokenizer.encode(..., add_bos=True)``).
         config: Per-request decoding configuration; requests in the same
             batch may use different budgets, temperatures and seeds.
+        context_limit: The serving model's context window (``max_seq_len``),
+            stamped at submission.  Bounds :attr:`footprint_tokens`: a request
+            can never occupy more cache positions than the window holds, so
+            charging the scheduler beyond it would starve admission for
+            budget the request cannot use.
     """
 
     request_id: str
     prompt_ids: List[int]
     config: GenerationConfig = field(default_factory=GenerationConfig.greedy_config)
+    context_limit: Optional[int] = None
 
     @property
     def footprint_tokens(self) -> int:
-        """Worst-case context-window footprint used for budget admission."""
-        return len(self.prompt_ids) + self.config.max_new_tokens
+        """Worst-case context-window footprint used for budget admission.
+
+        ``prompt_len + max_new_tokens``, clamped to :attr:`context_limit`
+        (when known): generation stops at the context window regardless of
+        ``max_new_tokens``, so the clamp is the true worst case — without it
+        a request with an oversized token budget over-charges
+        ``Scheduler.tokens_in_flight`` and blocks admissions that would fit.
+        """
+        footprint = len(self.prompt_ids) + self.config.max_new_tokens
+        if self.context_limit is not None:
+            footprint = min(footprint, self.context_limit)
+        return footprint
 
 
 @dataclass
@@ -73,7 +94,22 @@ class RequestState:
     submitted_at: float = 0.0
     started_at: float = 0.0
     finished_at: float = 0.0
+    #: Cumulative model-forward time of the prompt prefill (all chunks plus
+    #: the final Medusa-head evaluation) — the same region sequential
+    #: decoding's ``DecodeResult.prefill_seconds`` times, so throughput
+    #: columns compare like with like.  Prefix-cache lookups, K/V splicing
+    #: and scheduler bookkeeping are excluded.
     prefill_seconds: float = 0.0
+    #: Prompt tokens already present in :attr:`row_cache` (spliced prefix +
+    #: prefilled chunks); prefill completes at ``prompt_len``.
+    prefill_pos: int = 0
+    #: Prompt tokens served from the cross-request prefix cache instead of
+    #: being prefilled.
+    tokens_reused: int = 0
+    #: Private batch-1 cache holding the prompt while the request is
+    #: ``PREFILLING``; merged into the engine's shared cache (and dropped
+    #: here) when prefill completes.
+    row_cache: Optional[KVCache] = None
     #: Base-head logits at the last committed position (``(V,)``).
     last_base: Optional[np.ndarray] = None
     #: Medusa-head logits at the last committed position.
@@ -114,4 +150,5 @@ class RequestState:
             step_records=list(self.step_records),
             stopped_by_eos=self.stopped_by_eos,
             prefill_seconds=self.prefill_seconds,
+            prompt_tokens_reused=self.tokens_reused,
         )

@@ -8,10 +8,15 @@ the occupants each step.  The policy is deliberately simple and fair:
   a large request at the head of the queue is never overtaken by a smaller
   one behind it (no starvation).
 * **Token-budget cap** — each request's worst-case context footprint
-  (``prompt_len + max_new_tokens``) is charged against
-  ``max_batch_tokens`` while it is running, bounding the shared cache's
-  memory and the width of the batched forward.
+  (``prompt_len + max_new_tokens``, clamped to the model's context window)
+  is charged against ``max_batch_tokens`` while it is running, bounding the
+  shared cache's memory and the width of the batched forward.
 * **Concurrency cap** — at most ``max_active_requests`` rows run at once.
+* **Prefill pacing** — ``max_prefill_tokens_per_step`` bounds how many
+  prompt tokens the engine may prefill per engine step, so admitting a
+  request with a long prompt cannot stall every in-flight decoder for the
+  duration of one monolithic prefill (chunked prefill; requests sit in the
+  ``PREFILLING`` status while their prompt enters the cache chunk by chunk).
 * **Progress guarantee** — when nothing is running, the head-of-queue
   request is admitted even if it alone exceeds the token budget; otherwise
   an oversized request would deadlock the queue.
@@ -26,7 +31,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Deque, List
+from typing import Deque, List, Optional
 
 from repro.serving.request import RequestState, RequestStatus
 
@@ -39,11 +44,29 @@ class SchedulerConfig:
         max_active_requests: Upper bound on concurrently running requests
             (rows of the shared KV cache).
         max_batch_tokens: Upper bound on the summed worst-case footprints
-            (``prompt_len + max_new_tokens``) of running requests.
+            (``prompt_len + max_new_tokens``, clamped to the context window)
+            of running requests.
+        max_prefill_tokens_per_step: Per-step prefill-token budget.  When
+            set, admitted prompts enter the cache in chunks of at most this
+            many tokens per engine step (FCFS across ``PREFILLING``
+            requests), interleaved with decode steps for the already-running
+            batch; ``None`` prefills each admitted prompt whole at admission.
     """
 
     max_active_requests: int = 8
     max_batch_tokens: int = 4096
+    max_prefill_tokens_per_step: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.max_active_requests < 1:
+            raise ValueError(f"max_active_requests must be positive, got {self.max_active_requests}")
+        if self.max_batch_tokens < 1:
+            raise ValueError(f"max_batch_tokens must be positive, got {self.max_batch_tokens}")
+        if self.max_prefill_tokens_per_step is not None and self.max_prefill_tokens_per_step < 1:
+            raise ValueError(
+                f"max_prefill_tokens_per_step must be positive (or None), "
+                f"got {self.max_prefill_tokens_per_step}"
+            )
 
 
 @dataclass
@@ -73,6 +96,11 @@ class Scheduler:
     def has_work(self) -> bool:
         return bool(self.waiting or self.running)
 
+    @property
+    def prefill_budget_per_step(self) -> Optional[int]:
+        """Prompt tokens the engine may prefill per step (``None`` = whole prompts)."""
+        return self.config.max_prefill_tokens_per_step
+
     # -- transitions ---------------------------------------------------------
 
     def submit(self, state: RequestState) -> None:
@@ -87,6 +115,11 @@ class Scheduler:
         request that does not fit, so later small requests cannot starve an
         earlier large one.  If nothing is running, the head request is
         admitted unconditionally (progress guarantee).
+
+        Admitted requests enter the ``PREFILLING`` status (their prompt has
+        yet to enter the cache); the engine flips them to ``RUNNING`` once
+        prefill completes — instantly unless ``max_prefill_tokens_per_step``
+        paces it.  They occupy budget and a ``running`` slot either way.
         """
         admitted: List[RequestState] = []
         tokens = self.tokens_in_flight
@@ -99,7 +132,7 @@ class Scheduler:
             if not fits and active > 0:
                 break
             self.waiting.popleft()
-            head.status = RequestStatus.RUNNING
+            head.status = RequestStatus.PREFILLING
             self.running.append(head)
             admitted.append(head)
             tokens += head.request.footprint_tokens

@@ -20,6 +20,7 @@ from repro.core.decoding import DecodingStrategy
 from repro.models.generation import GenerationConfig
 from repro.serving import (
     GenerationRequest,
+    PrefixCache,
     RequestState,
     RequestStatus,
     Scheduler,
@@ -39,13 +40,24 @@ def _prompts(pipeline, count):
     return (prompts * (count // max(len(prompts), 1) + 1))[:count]
 
 
-def _engine(pipeline, method, strategy, **scheduler_kwargs):
+def _engine(pipeline, method, strategy, prefix_cache=None, **scheduler_kwargs):
     return ServingEngine(
         pipeline.models[method],
         pipeline.tokenizer,
         strategy=strategy,
         scheduler_config=SchedulerConfig(**scheduler_kwargs) if scheduler_kwargs else None,
+        prefix_cache=prefix_cache,
     )
+
+
+def _shared_prefix_prompts(pipeline, count):
+    """N prompts over 2 distinct task preambles — the reuse-friendly workload."""
+    preambles = [
+        "// Task: implement the following Verilog module exactly as specified.\n",
+        "// You are a careful hardware engineer; write synthesizable Verilog.\n",
+    ]
+    bodies = _prompts(pipeline, count)
+    return [preambles[index % 2] + body for index, body in enumerate(bodies)]
 
 
 class TestServingEquivalence:
@@ -221,7 +233,9 @@ class TestScheduler:
         admitted = scheduler.admit()
         assert [s.request.request_id for s in admitted] == ["a", "b"]
         assert scheduler.num_waiting == 1
-        assert all(s.status is RequestStatus.RUNNING for s in admitted)
+        # Admission moves requests into PREFILLING; the engine flips them to
+        # RUNNING once their prompt has fully entered the cache.
+        assert all(s.status is RequestStatus.PREFILLING for s in admitted)
 
     def test_token_budget_blocks_admission(self):
         scheduler = Scheduler(SchedulerConfig(max_active_requests=8, max_batch_tokens=50))
@@ -386,3 +400,298 @@ class TestRaggedBatchedForward:
             model.forward_hidden(np.asarray([ids], dtype=np.int64), cache=cache)
             single_base, _ = model.forward_hidden(np.asarray([[token]], dtype=np.int64), cache=cache)
             np.testing.assert_allclose(batched_base[row, -1], single_base[0, -1], atol=1e-5)
+
+
+class TestChunkedPrefill:
+    """Chunked prefill is a pure compute-layout change: token-identical outputs."""
+
+    @pytest.mark.parametrize("method,strategy", METHODS)
+    @pytest.mark.parametrize("chunk", [1, 3, 8])
+    def test_chunked_matches_whole_prefill(self, tiny_pipeline, method, strategy, chunk):
+        prompts = _prompts(tiny_pipeline, 4)
+        config = GenerationConfig.greedy_config(12)
+        decoder = tiny_pipeline.decoder_for(method)
+        sequential = [decoder.generate_from_text(prompt, config) for prompt in prompts]
+
+        engine = _engine(
+            tiny_pipeline, method, strategy,
+            max_active_requests=2, max_prefill_tokens_per_step=chunk,
+        )
+        request_ids = [engine.submit_text(prompt, config) for prompt in prompts]
+        results = engine.run()
+        for request_id, expected in zip(request_ids, sequential):
+            assert results[request_id].token_ids == expected.token_ids
+
+    def test_chunked_matches_whole_prefill_sampling(self, tiny_pipeline):
+        prompts = _prompts(tiny_pipeline, 4)
+        configs = [GenerationConfig.sampling_config(0.8, 14, seed=i) for i in range(len(prompts))]
+        decoder = tiny_pipeline.decoder_for("ours")
+        sequential = [decoder.generate_from_text(p, c) for p, c in zip(prompts, configs)]
+
+        engine = _engine(
+            tiny_pipeline, "ours", DecodingStrategy.OURS,
+            max_active_requests=2, max_prefill_tokens_per_step=4,
+        )
+        request_ids = [engine.submit_text(p, c) for p, c in zip(prompts, configs)]
+        results = engine.run()
+        for request_id, expected in zip(request_ids, sequential):
+            assert results[request_id].token_ids == expected.token_ids
+
+    def test_prefilling_status_and_interleaving(self, tiny_pipeline):
+        """A long prompt under a small per-step budget sits in PREFILLING
+        across steps while already-running requests keep decoding."""
+        engine = _engine(
+            tiny_pipeline, "ours", DecodingStrategy.OURS,
+            max_active_requests=2, max_prefill_tokens_per_step=2,
+        )
+        first = engine.submit_text("module adder (input clk);", GenerationConfig.greedy_config(20))
+        engine.step()  # first request starts prefilling
+        long_id = engine.submit_text(
+            "module long_preamble_block (input clk, input rst, input [7:0] data_in);",
+            GenerationConfig.greedy_config(4),
+        )
+        saw_prefilling = False
+        saw_concurrent_decode = False
+        for _ in range(200):
+            if not engine.has_work:
+                break
+            state = engine._states[long_id]
+            if state.status is RequestStatus.PREFILLING:
+                saw_prefilling = True
+                if len(engine._states[first].output_ids) > 0:
+                    saw_concurrent_decode = True
+            engine.step()
+        assert not engine.has_work
+        assert saw_prefilling, "long prompt never entered PREFILLING under a 2-token budget"
+        assert saw_concurrent_decode, "decode did not interleave with chunked prefill"
+        assert engine._states[long_id].status is RequestStatus.FINISHED
+
+    def test_chunk_budget_validation(self):
+        with pytest.raises(ValueError, match="max_prefill_tokens_per_step"):
+            SchedulerConfig(max_prefill_tokens_per_step=0)
+
+
+class TestPrefixReuse:
+    """Cross-request prefix reuse: identical tokens, less prefill compute."""
+
+    @pytest.mark.parametrize("method,strategy", METHODS)
+    def test_reuse_matches_sequential(self, tiny_pipeline, method, strategy):
+        prompts = _shared_prefix_prompts(tiny_pipeline, 4) * 2
+        config = GenerationConfig.greedy_config(12)
+        decoder = tiny_pipeline.decoder_for(method)
+        sequential = [decoder.generate_from_text(prompt, config) for prompt in prompts]
+
+        engine = _engine(
+            tiny_pipeline, method, strategy,
+            prefix_cache=PrefixCache(max_tokens=4096), max_active_requests=2,
+        )
+        request_ids = [engine.submit_text(prompt, config) for prompt in prompts]
+        results = engine.run()
+        for request_id, expected in zip(request_ids, sequential):
+            assert results[request_id].token_ids == expected.token_ids
+        stats = engine.prefix_cache_stats()
+        assert stats["hits"] > 0
+        assert stats["prompt_tokens_reused"] > 0
+        assert 0.0 < stats["prefill_savings"] < 1.0
+
+    def test_reuse_with_chunked_prefill_and_sampling(self, tiny_pipeline):
+        prompts = _shared_prefix_prompts(tiny_pipeline, 4) * 2
+        configs = [GenerationConfig.sampling_config(0.8, 12, seed=i) for i in range(len(prompts))]
+        decoder = tiny_pipeline.decoder_for("ours")
+        sequential = [decoder.generate_from_text(p, c) for p, c in zip(prompts, configs)]
+
+        engine = _engine(
+            tiny_pipeline, "ours", DecodingStrategy.OURS,
+            prefix_cache=PrefixCache(max_tokens=4096),
+            max_active_requests=2, max_prefill_tokens_per_step=5,
+        )
+        request_ids = [engine.submit_text(p, c) for p, c in zip(prompts, configs)]
+        results = engine.run()
+        for request_id, expected in zip(request_ids, sequential):
+            assert results[request_id].token_ids == expected.token_ids
+        assert engine.prefix_cache_stats()["hits"] > 0
+
+    def test_reuse_prefills_fewer_tokens_than_baseline(self, tiny_pipeline):
+        prompts = _shared_prefix_prompts(tiny_pipeline, 4) * 2
+        config = GenerationConfig.greedy_config(8)
+
+        baseline = _engine(tiny_pipeline, "ours", DecodingStrategy.OURS, max_active_requests=2)
+        for prompt in prompts:
+            baseline.submit_text(prompt, config)
+        baseline.run()
+
+        reuse = _engine(
+            tiny_pipeline, "ours", DecodingStrategy.OURS,
+            prefix_cache=PrefixCache(max_tokens=4096), max_active_requests=2,
+        )
+        for prompt in prompts:
+            reuse.submit_text(prompt, config)
+        reuse.run()
+
+        baseline_prefilled = baseline.prefix_cache_stats()["prompt_tokens_prefilled"]
+        reuse_stats = reuse.prefix_cache_stats()
+        assert reuse_stats["prompt_tokens_prefilled"] < baseline_prefilled
+        assert (
+            reuse_stats["prompt_tokens_prefilled"] + reuse_stats["prompt_tokens_reused"]
+            == baseline_prefilled
+        )
+
+    def test_reuse_survives_eviction_pressure(self, tiny_pipeline):
+        """A tiny retention budget forces evictions mid-run; outputs stay right."""
+        prompts = _shared_prefix_prompts(tiny_pipeline, 6)
+        config = GenerationConfig.greedy_config(8)
+        decoder = tiny_pipeline.decoder_for("ours")
+        sequential = [decoder.generate_from_text(prompt, config) for prompt in prompts]
+
+        cache = PrefixCache(max_tokens=40)  # holds roughly one prompt
+        engine = _engine(
+            tiny_pipeline, "ours", DecodingStrategy.OURS,
+            prefix_cache=cache, max_active_requests=1,
+        )
+        request_ids = [engine.submit_text(prompt, config) for prompt in prompts]
+        results = engine.run()
+        for request_id, expected in zip(request_ids, sequential):
+            assert results[request_id].token_ids == expected.token_ids
+        assert cache.num_tokens <= 40
+
+    def test_per_request_reuse_surfaces_in_results(self, tiny_pipeline):
+        """DecodeResult.prompt_tokens_reused sums to the engine-level total."""
+        prompts = _shared_prefix_prompts(tiny_pipeline, 4) * 2
+        config = GenerationConfig.greedy_config(6)
+        engine = _engine(
+            tiny_pipeline, "ours", DecodingStrategy.OURS,
+            prefix_cache=PrefixCache(max_tokens=4096), max_active_requests=2,
+        )
+        request_ids = [engine.submit_text(prompt, config) for prompt in prompts]
+        results = engine.run()
+        per_request = [results[request_id].prompt_tokens_reused for request_id in request_ids]
+        assert sum(per_request) == engine.tokens_reused_total > 0
+        # Sequential decoding never reuses.
+        sequential = tiny_pipeline.decoder_for("ours").generate_from_text(prompts[0], config)
+        assert sequential.prompt_tokens_reused == 0
+
+    def test_prefix_cache_rejects_sharing_across_models(self, tiny_pipeline):
+        """Retained K/V is model-specific: one cache cannot serve two models."""
+        cache = PrefixCache(max_tokens=1024)
+        _engine(tiny_pipeline, "ours", DecodingStrategy.OURS, prefix_cache=cache)
+        with pytest.raises(ValueError, match="different model"):
+            _engine(tiny_pipeline, "ntp", DecodingStrategy.NTP, prefix_cache=cache)
+        # Sharing between engines wrapping the *same* model stays allowed.
+        _engine(tiny_pipeline, "ours", DecodingStrategy.OURS, prefix_cache=cache)
+
+    def test_one_token_prompts_never_reuse(self, tiny_pipeline):
+        """At least one prompt token is always prefilled (it produces the
+        last-position logits), so a 1-token prompt cannot hit the cache."""
+        engine = _engine(
+            tiny_pipeline, "ntp", DecodingStrategy.NTP,
+            prefix_cache=PrefixCache(max_tokens=4096),
+        )
+        config = GenerationConfig.greedy_config(4)
+        bos = tiny_pipeline.tokenizer.vocab.bos_id
+        first = engine.submit([bos], config)
+        second = engine.submit([bos], config)
+        results = engine.run()
+        assert results[first].token_ids == results[second].token_ids
+        stats = engine.prefix_cache_stats()
+        assert stats["prompt_tokens_reused"] == 0
+
+
+class TestFootprintClamp:
+    """Regression: footprints are clamped to the context window (satellite fix)."""
+
+    def test_request_footprint_clamped(self):
+        request = GenerationRequest(
+            request_id="r",
+            prompt_ids=list(range(10)),
+            config=GenerationConfig.greedy_config(10_000),
+            context_limit=128,
+        )
+        assert request.footprint_tokens == 128
+
+    def test_unclamped_without_context_limit(self):
+        request = GenerationRequest(
+            request_id="r",
+            prompt_ids=list(range(10)),
+            config=GenerationConfig.greedy_config(10_000),
+        )
+        assert request.footprint_tokens == 10_010
+
+    def test_engine_submit_stamps_context_limit(self, tiny_pipeline):
+        engine = _engine(tiny_pipeline, "ours", DecodingStrategy.OURS)
+        max_seq_len = tiny_pipeline.models["ours"].backbone.max_seq_len
+        request_id = engine.submit([2, 3, 4], GenerationConfig.greedy_config(10_000))
+        state = engine._states[request_id]
+        assert state.request.context_limit == max_seq_len
+        assert state.request.footprint_tokens == max_seq_len
+
+    def test_clamp_prevents_admission_starvation(self, tiny_pipeline):
+        """Two requests with absurd max_new_tokens both fit a budget sized
+        for two context windows; before the clamp the first one's inflated
+        footprint starved the second forever."""
+        max_seq_len = tiny_pipeline.models["ours"].backbone.max_seq_len
+        engine = _engine(
+            tiny_pipeline, "ours", DecodingStrategy.OURS,
+            max_active_requests=8, max_batch_tokens=2 * max_seq_len,
+        )
+        config = GenerationConfig.greedy_config(10 * max_seq_len)
+        for _ in range(2):
+            engine.submit([2, 3, 4, 5], config)
+        engine.step()
+        assert engine.scheduler.num_running == 2, (
+            "clamped footprints must both fit a 2-window budget"
+        )
+        assert engine.scheduler.tokens_in_flight == 2 * max_seq_len
+        engine.run()
+        assert not engine.has_work
+
+
+class TestSubmitValidation:
+    """Satellite fix: requests are validated at the submission boundary."""
+
+    def test_out_of_vocab_token_rejected(self, tiny_pipeline):
+        engine = _engine(tiny_pipeline, "ours", DecodingStrategy.OURS)
+        vocab_size = tiny_pipeline.models["ours"].vocab_size
+        with pytest.raises(ValueError, match="vocabulary"):
+            engine.submit([1, vocab_size])
+        with pytest.raises(ValueError, match="vocabulary"):
+            engine.submit([-1, 2])
+
+    def test_empty_request_id_rejected(self, tiny_pipeline):
+        engine = _engine(tiny_pipeline, "ours", DecodingStrategy.OURS)
+        with pytest.raises(ValueError, match="non-empty"):
+            engine.submit([1, 2], request_id="")
+
+    def test_auto_ids_skip_caller_collisions(self, tiny_pipeline):
+        """Auto-assigned ids must not collide with ids the caller picked."""
+        engine = _engine(tiny_pipeline, "ntp", DecodingStrategy.NTP)
+        engine.submit([2, 3], GenerationConfig.greedy_config(2), request_id="req-0")
+        auto_id = engine.submit([2, 3], GenerationConfig.greedy_config(2))
+        assert auto_id != "req-0"
+        results = engine.run()
+        assert set(results) == {"req-0", auto_id}
+
+    def test_failed_submission_leaves_engine_clean(self, tiny_pipeline):
+        engine = _engine(tiny_pipeline, "ntp", DecodingStrategy.NTP)
+        with pytest.raises(ValueError):
+            engine.submit([])
+        assert not engine.has_work
+
+
+class TestPrefillTiming:
+    """Satellite fix: prefill_seconds times the model forward only, and does
+    so identically whether prefill is whole, chunked, or partially reused."""
+
+    def test_prefill_seconds_bounded_by_wall_time(self, tiny_pipeline):
+        engine = _engine(
+            tiny_pipeline, "ours", DecodingStrategy.OURS,
+            prefix_cache=PrefixCache(max_tokens=4096),
+            max_prefill_tokens_per_step=3,
+        )
+        config = GenerationConfig.greedy_config(6)
+        prompts = _shared_prefix_prompts(tiny_pipeline, 2)
+        request_ids = [engine.submit_text(prompt, config) for prompt in prompts]
+        results = engine.run()
+        for request_id in request_ids:
+            result = results[request_id]
+            assert result.prefill_seconds > 0.0
+            assert result.wall_time_seconds >= result.prefill_seconds
