@@ -28,13 +28,24 @@ cross-request :class:`~repro.serving.PrefixCache` and chunked prefill
 enabled, asserting token-identity to the no-reuse engine and a strict
 reduction in prefilled prompt tokens (hit rate and prefill savings land in
 the bench JSON).
+
+A third workload (``test_streaming_ttft``) runs long-prompt requests through
+the :class:`~repro.serving.AsyncServingEngine` streaming front-end and
+tracks TTFT (time to first token) and inter-token latency percentiles,
+asserting that chunked prefill delivers first tokens sooner than
+whole-prompt prefill on a concurrent long-prompt batch — and that streamed
+bursts concatenate to exactly the batch ``result()`` tokens.
 """
 
 from __future__ import annotations
 
 import pytest
 
-from repro.evalbench.throughput import compare_serving_modes, measure_serving_throughput
+from repro.evalbench.throughput import (
+    compare_serving_modes,
+    measure_serving_throughput,
+    measure_streaming_throughput,
+)
 from repro.models.generation import GenerationConfig
 from repro.serving import PrefixCache, SchedulerConfig
 
@@ -220,3 +231,111 @@ def test_shared_prefix_prefill_reuse(benchmark, trained_pipeline, rtllm_subset, 
         reuse_report.prefill_tokens + reuse_report.reused_tokens
         == baseline_report.prefill_tokens
     )
+
+
+#: Concurrent long-prompt requests in the streaming TTFT workload.
+STREAMING_REQUESTS = 4
+#: Per-step prefill budget of the chunked configuration.
+STREAMING_CHUNK = 48
+
+
+def _long_prompts(pipeline, rtllm_subset, vgen_subset, count):
+    """Prompts long enough that prefill dominates TTFT, still leaving decode room."""
+    tokenizer = pipeline.tokenizer
+    max_seq_len = pipeline.models["ours"].backbone.max_seq_len
+    target = int(max_seq_len * 0.7)
+    bodies = _throughput_prompts(pipeline, rtllm_subset, vgen_subset, 16)
+    prompts = []
+    for index in range(count):
+        text = bodies[index % len(bodies)]
+        piece = 1
+        while len(tokenizer.encode(text, add_bos=True)) < target:
+            text += "\n" + bodies[(index + piece) % len(bodies)]
+            piece += 1
+        prompts.append(text)
+    return prompts
+
+
+@pytest.mark.benchmark(group="serving-streaming")
+def test_streaming_ttft(benchmark, trained_pipeline, rtllm_subset, vgen_subset):
+    """Streaming TTFT/ITL percentiles; chunked prefill must cut TTFT on long prompts.
+
+    With whole-prompt prefill, every request admitted in the same round waits
+    for *all* of the round's prompts to prefill before any first token lands
+    (prefill completes for the whole admission batch inside one engine step).
+    Chunked prefill spreads that work over steps FCFS, so request 1 starts
+    decoding after roughly its own prefill, request 2 after two, … — a
+    staircase whose mean TTFT is structurally below the whole-prefill
+    plateau.  That structural gap (about (K+1)/2 vs K prompt-prefills at K
+    concurrent long prompts) is what the assertion pins down; it holds in
+    smoke mode too because it does not depend on absolute speed.
+    """
+    prompts = _long_prompts(trained_pipeline, rtllm_subset, vgen_subset, STREAMING_REQUESTS)
+    max_new_tokens = 16 if SMOKE else 32
+    config = GenerationConfig.greedy_config(max_new_tokens)
+
+    whole_engine = trained_pipeline.engine_for(
+        "ours", scheduler_config=SchedulerConfig(max_active_requests=STREAMING_REQUESTS)
+    )
+    whole_report, whole_results, whole_streamed = measure_streaming_throughput(
+        whole_engine, prompts, config, label="ours+stream+whole-prefill"
+    )
+
+    def serve_chunked():
+        engine = trained_pipeline.engine_for(
+            "ours",
+            scheduler_config=SchedulerConfig(
+                max_active_requests=STREAMING_REQUESTS,
+                max_prefill_tokens_per_step=STREAMING_CHUNK,
+            ),
+        )
+        return measure_streaming_throughput(engine, prompts, config, label="ours+stream+chunked")
+
+    chunked_report, chunked_results, chunked_streamed = benchmark.pedantic(
+        serve_chunked, rounds=1, iterations=1
+    )
+
+    print(
+        f"\n=== Streaming TTFT ({STREAMING_REQUESTS} concurrent long prompts, "
+        f"chunk={STREAMING_CHUNK}, greedy) ==="
+    )
+    header = (
+        f"{'mode':<14} {'mean ttft':>10} {'p50 ttft':>9} {'p95 ttft':>9} "
+        f"{'p50 itl':>9} {'p95 itl':>9} {'tok/s':>8}"
+    )
+    print(header)
+    print("-" * len(header))
+    for report in (whole_report, chunked_report):
+        print(
+            f"{report.label.split('+', 1)[1]:<14} {report.mean_ttft:>10.3f} "
+            f"{report.p50_ttft:>9.3f} {report.p95_ttft:>9.3f} "
+            f"{report.p50_itl:>9.4f} {report.p95_itl:>9.4f} "
+            f"{report.tokens_per_second:>8.0f}"
+        )
+
+    emit_bench_json(
+        "throughput_streaming",
+        {
+            "num_requests": STREAMING_REQUESTS,
+            "max_new_tokens": max_new_tokens,
+            "prefill_chunk": STREAMING_CHUNK,
+            "whole_prefill": whole_report.to_dict(),
+            "chunked_prefill": chunked_report.to_dict(),
+        },
+    )
+
+    # Streaming is observation-only: bursts concatenate to the result tokens,
+    # and chunking does not change what is generated.
+    assert whole_streamed == [r.token_ids for r in whole_results]
+    assert chunked_streamed == [r.token_ids for r in chunked_results]
+    assert [r.token_ids for r in chunked_results] == [r.token_ids for r in whole_results]
+    # The tentpole claim: chunked prefill delivers first tokens sooner on a
+    # concurrent long-prompt batch (structural staircase-vs-plateau gap).
+    assert chunked_report.mean_ttft < whole_report.mean_ttft, (
+        f"chunked prefill mean TTFT {chunked_report.mean_ttft:.3f}s not below "
+        f"whole-prompt prefill {whole_report.mean_ttft:.3f}s"
+    )
+    # Percentiles are populated (every request streamed at least two tokens).
+    for report in (whole_report, chunked_report):
+        assert report.p95_ttft >= report.p50_ttft > 0.0
+        assert report.p95_itl >= report.p50_itl > 0.0

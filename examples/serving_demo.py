@@ -6,22 +6,133 @@ batched forward per step, FCFS admission under a token budget) and compares
 throughput and latency against decoding the same prompts one after another.
 The engine's outputs are checked token-identical to sequential ``generate``.
 
+``--stream`` instead demonstrates the asyncio streaming front-end
+(:class:`~repro.serving.AsyncServingEngine`): tokens printed as they commit,
+priority-aware admission, a cooperative cancel and a per-request deadline,
+with a TTFT/inter-token latency summary.  Streamed bursts are checked to
+concatenate to exactly the batch ``result()`` tokens.
+
 Run with:  python examples/serving_demo.py
 Smoke:     python examples/serving_demo.py --smoke      (tiny model, seconds)
+Streaming: python examples/serving_demo.py --smoke --stream
 """
 
 from __future__ import annotations
 
+import asyncio
 import sys
 
 from repro.core.pipeline import PipelineConfig, VerilogSpecPipeline
 from repro.evalbench.throughput import compare_serving_modes, measure_serving_throughput
 from repro.models.generation import GenerationConfig
-from repro.serving import PrefixCache, SchedulerConfig
+from repro.serving import (
+    AsyncServingEngine,
+    PrefixCache,
+    PriorityConfig,
+    RequestCancelled,
+    RequestDeadlineExceeded,
+    SchedulerConfig,
+)
+
+
+async def streaming_demo(pipeline: VerilogSpecPipeline, max_new_tokens: int) -> None:
+    """Stream tokens live, then demonstrate priorities, cancel and deadline."""
+    tokenizer = pipeline.tokenizer
+    # prepare() always yields several examples; the demo uses the first four.
+    prompts = [example.prompt_text() for example in pipeline.examples][:4]
+    generation = GenerationConfig.greedy_config(max_new_tokens)
+
+    # 1. Live token stream: bursts print the moment the engine commits them.
+    engine = pipeline.engine_for("ours")
+    print("Streaming one request (each [..] is one committed burst):\n")
+    async with AsyncServingEngine(engine) as server:
+        handle = await server.submit_text(prompts[0], generation)
+        streamed: list[int] = []
+        async for burst in handle.stream():
+            streamed.extend(burst)
+            print(f"[{tokenizer.decode(burst, keep_frag=True)}]", end="", flush=True)
+        result = await handle.result()
+    print("\n")
+    if streamed != result.token_ids:
+        raise SystemExit("streamed bursts diverged from the batch result")
+    print(
+        f"Streamed {len(streamed)} tokens in {len(result.step_records)} bursts; "
+        "concatenation is identical to result().token_ids."
+    )
+
+    # 2. Priority classes: a high-priority request overtakes queued bulk work.
+    engine = pipeline.engine_for(
+        "ours",
+        scheduler_config=SchedulerConfig(
+            max_active_requests=1, priorities=PriorityConfig(aging_rounds=8)
+        ),
+    )
+    async with AsyncServingEngine(engine) as server:
+        bulk = [await server.submit_text(p, generation, priority=0) for p in prompts]
+        urgent = await server.submit_text(prompts[0], generation, priority=5)
+        order: list[str] = []
+
+        async def watch(handle, name):
+            try:
+                await handle.result()
+            except RequestCancelled:
+                pass
+            order.append(name)
+
+        await asyncio.gather(
+            *(watch(h, f"bulk-{i}") for i, h in enumerate(bulk)), watch(urgent, "urgent")
+        )
+    print(f"\nPriority admission (1 slot): completion order {order}")
+    if order.index("urgent") >= len(order) - 1:
+        raise SystemExit("urgent request did not overtake the bulk queue")
+
+    # 3. Cooperative cancellation and a per-request deadline.
+    engine = pipeline.engine_for("ours")
+    long_config = GenerationConfig.greedy_config(max_new_tokens * 8)
+    async with AsyncServingEngine(engine) as server:
+        victim = await server.submit_text(prompts[1], long_config)
+        collected = 0
+        async for burst in victim.stream():
+            collected += len(burst)
+            if collected >= 4:
+                victim.cancel()
+        try:
+            await victim.result()
+            raise SystemExit("cancelled request still returned a result")
+        except RequestCancelled as error:
+            print(
+                f"\nCancelled after {error.partial.tokens_generated} tokens; "
+                "its KV row and scheduler budget were freed the same step."
+            )
+        deadlined = await server.submit_text(prompts[2], long_config, deadline=0.05)
+        try:
+            await deadlined.result()
+            raise SystemExit("deadline did not fire")
+        except RequestDeadlineExceeded as error:
+            print(
+                f"Deadline (50 ms) cancelled the next request after "
+                f"{error.partial.tokens_generated} tokens."
+            )
+
+    # 4. TTFT / inter-token latency summary over a small concurrent batch.
+    engine = pipeline.engine_for("ours")
+    async with AsyncServingEngine(engine) as server:
+        handles = [await server.submit_text(p, generation) for p in prompts]
+        await asyncio.gather(*(h.result() for h in handles))
+    print("\nPer-request streaming latencies:")
+    print(f"{'request':<10} {'ttft (ms)':>10} {'bursts':>7} {'tokens':>7}")
+    for handle in handles:
+        metrics = engine.stream_metrics(handle.request_id)
+        print(
+            f"{handle.request_id:<10} {metrics['ttft_seconds'] * 1e3:>10.1f} "
+            f"{len(metrics['commit_events']):>7} "
+            f"{sum(n for _, n in metrics['commit_events']):>7}"
+        )
 
 
 def main() -> None:
     smoke = "--smoke" in sys.argv[1:]
+    stream = "--stream" in sys.argv[1:]
     if smoke:
         config = PipelineConfig(
             corpus_items=40,
@@ -44,6 +155,10 @@ def main() -> None:
     pipeline = VerilogSpecPipeline(config)
     pipeline.prepare()
     pipeline.train_all()
+
+    if stream:
+        asyncio.run(streaming_demo(pipeline, max_new_tokens))
+        return
 
     prompts = [example.prompt_text() for example in pipeline.examples]
     prompts = (prompts * (num_requests // max(len(prompts), 1) + 1))[:num_requests]

@@ -319,6 +319,10 @@ class DecodeResult:
     #: Prompt positions served from the serving engine's cross-request prefix
     #: cache instead of being prefilled; always 0 for sequential decoding.
     prompt_tokens_reused: int = 0
+    #: True when the serving engine cancelled the run (explicit cancel or an
+    #: expired deadline); ``token_ids`` then holds the partial output
+    #: committed before cancellation.  Always False for sequential decoding.
+    cancelled: bool = False
 
     @property
     def decode_seconds(self) -> float:

@@ -28,6 +28,7 @@ from repro.evalbench.throughput import (
     compare_serving_modes,
     measure_sequential_throughput,
     measure_serving_throughput,
+    measure_streaming_throughput,
 )
 from repro.evalbench.runner import EvaluationRunner, QualityReport
 
@@ -53,6 +54,7 @@ __all__ = [
     "compare_serving_modes",
     "measure_sequential_throughput",
     "measure_serving_throughput",
+    "measure_streaming_throughput",
     "EvaluationRunner",
     "QualityReport",
 ]

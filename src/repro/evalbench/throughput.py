@@ -10,16 +10,27 @@ once many requests arrive concurrently:
   the sequential baseline all requests are treated as submitted at once and
   processed FCFS, so request ``i``'s latency includes the time spent decoding
   requests ``0..i-1`` — the queueing delay continuous batching exists to
-  remove.
+  remove;
+* **TTFT p50/p95** — submission to *first committed token*, the latency a
+  streaming client actually perceives (queueing + prefill included);
+* **inter-token latency p50/p95** — gaps between committed tokens.  Tokens
+  land in per-step bursts, so the gap between consecutive commits is spread
+  evenly over the later burst's tokens (the series sums exactly to
+  last-commit minus first-commit).
 
 :func:`compare_serving_modes` runs the same prompt set through a
 :class:`~repro.serving.engine.ServingEngine` and through sequential
 :meth:`~repro.core.decoding.SpeculativeDecoder.generate` calls, checks the
 outputs are token-identical, and reports the throughput/latency ratios.
+:func:`measure_streaming_throughput` runs the prompts through the
+:class:`~repro.serving.server.AsyncServingEngine` front-end instead,
+consuming every request's burst stream concurrently — the numbers the
+streaming bench tracks.
 """
 
 from __future__ import annotations
 
+import asyncio
 import time
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple
@@ -29,6 +40,7 @@ import numpy as np
 from repro.core.decoding import DecodeResult, SpeculativeDecoder
 from repro.models.generation import GenerationConfig
 from repro.serving.engine import ServingEngine
+from repro.serving.server import AsyncServingEngine
 
 
 def _percentile(values: Sequence[float], q: float) -> float:
@@ -59,6 +71,11 @@ class ThroughputReport:
             least one token (0.0 when no prefix cache is attached).
         prefill_savings: ``reused / (reused + prefilled)`` — the fraction of
             prompt positions whose prefill compute was avoided.
+        mean_ttft / p50_ttft / p95_ttft: Submission-to-first-token latency
+            statistics in seconds (0.0 for runs without commit timelines,
+            e.g. the sequential baseline).
+        p50_itl / p95_itl: Inter-token latency percentiles in seconds,
+            pooled over every request's per-token gap series.
     """
 
     label: str
@@ -75,6 +92,11 @@ class ThroughputReport:
     reused_tokens: int = 0
     prefix_hit_rate: float = 0.0
     prefill_savings: float = 0.0
+    mean_ttft: float = 0.0
+    p50_ttft: float = 0.0
+    p95_ttft: float = 0.0
+    p50_itl: float = 0.0
+    p95_itl: float = 0.0
 
     @classmethod
     def from_latencies(
@@ -94,6 +116,15 @@ class ThroughputReport:
             latencies=latencies,
         )
 
+    def attach_stream_latencies(self, ttfts: Sequence[float], inter_token: Sequence[float]) -> None:
+        """Fill the TTFT / inter-token percentile columns from raw series."""
+        ttfts = [t for t in ttfts if t is not None]
+        self.mean_ttft = sum(ttfts) / len(ttfts) if ttfts else 0.0
+        self.p50_ttft = _percentile(ttfts, 50)
+        self.p95_ttft = _percentile(ttfts, 95)
+        self.p50_itl = _percentile(list(inter_token), 50)
+        self.p95_itl = _percentile(list(inter_token), 95)
+
     def to_dict(self) -> dict:
         """Machine-readable summary (benchmark JSON artifacts)."""
         return {
@@ -110,6 +141,11 @@ class ThroughputReport:
             "reused_tokens": self.reused_tokens,
             "prefix_hit_rate": self.prefix_hit_rate,
             "prefill_savings": self.prefill_savings,
+            "mean_ttft": self.mean_ttft,
+            "p50_ttft": self.p50_ttft,
+            "p95_ttft": self.p95_ttft,
+            "p50_itl": self.p50_itl,
+            "p95_itl": self.p95_itl,
         }
 
 
@@ -141,12 +177,95 @@ def measure_serving_throughput(
     latencies = [engine.scheduler_latency(request_id) for request_id in request_ids]
     total_tokens = sum(result.tokens_generated for result in results)
     report = ThroughputReport.from_latencies(label, len(results), total_tokens, wall, latencies)
+    _finalize_engine_report(report, engine, request_ids)
+    return report, results
+
+
+def _finalize_engine_report(
+    report: ThroughputReport, engine: ServingEngine, request_ids: Sequence[str]
+) -> None:
+    """Fill the engine-derived columns: prefix-reuse stats and TTFT/ITL series.
+
+    Shared by the batch and streaming harnesses so a new report column only
+    has to be wired up once.
+    """
     cache_stats = engine.prefix_cache_stats()
     report.prefill_tokens = cache_stats["prompt_tokens_prefilled"]
     report.reused_tokens = cache_stats["prompt_tokens_reused"]
     report.prefix_hit_rate = cache_stats["hit_rate"]
     report.prefill_savings = cache_stats["prefill_savings"]
-    return report, results
+    ttfts: List[float] = []
+    inter_token: List[float] = []
+    for request_id in request_ids:
+        metrics = engine.stream_metrics(request_id)
+        if metrics["ttft_seconds"] is not None:
+            ttfts.append(metrics["ttft_seconds"])
+        inter_token.extend(metrics["inter_token_seconds"])
+    report.attach_stream_latencies(ttfts, inter_token)
+
+
+def measure_streaming_throughput(
+    engine: ServingEngine,
+    prompts: Sequence[str],
+    config: Optional[GenerationConfig] = None,
+    label: str = "streaming",
+) -> Tuple[ThroughputReport, List[DecodeResult], List[List[int]]]:
+    """Serve every prompt through the async streaming front-end and measure.
+
+    Wraps ``engine`` in an :class:`~repro.serving.server.AsyncServingEngine`,
+    submits all prompts, and consumes every request's burst stream
+    concurrently — the closest in-process analogue of N streaming clients.
+    TTFT / inter-token percentiles come from the engine-side commit
+    timelines, so they are comparable with :func:`measure_serving_throughput`
+    runs of the same engine configuration.
+
+    Args:
+        engine: A fresh engine (no in-flight requests; the async front-end
+            owns its step loop for the duration).
+        prompts: Prompt texts; each becomes one streamed request.
+        config: Decoding configuration shared by all requests.
+        label: Report label.
+
+    Returns:
+        ``(report, results, streamed)`` with ``results`` in prompt order and
+        ``streamed[i]`` the concatenation of request ``i``'s bursts — always
+        identical to ``results[i].token_ids`` (the streaming guarantee; the
+        benches assert it).
+    """
+    config = config or GenerationConfig.greedy_config()
+
+    async def _run():
+        streamed: List[List[int]] = [[] for _ in prompts]
+        server = AsyncServingEngine(engine)
+        # Submit everything *before* the step thread starts: every request is
+        # queued when stepping begins, so admission-round composition (and
+        # therefore TTFT) reflects the scheduler configuration rather than
+        # the race between the submitting loop and the polling step thread.
+        handles = [await server.submit_text(prompt, config) for prompt in prompts]
+        start = time.perf_counter()
+        server.start()
+        try:
+
+            async def consume(index: int, handle) -> DecodeResult:
+                async for burst in handle.stream():
+                    streamed[index].extend(burst)
+                return await handle.result()
+
+            results = list(
+                await asyncio.gather(*(consume(i, handle) for i, handle in enumerate(handles)))
+            )
+            wall = time.perf_counter() - start
+        finally:
+            await server.close()
+        return handles, results, streamed, wall
+
+    handles, results, streamed, wall = asyncio.run(_run())
+    request_ids = [handle.request_id for handle in handles]
+    latencies = [engine.scheduler_latency(request_id) for request_id in request_ids]
+    total_tokens = sum(result.tokens_generated for result in results)
+    report = ThroughputReport.from_latencies(label, len(results), total_tokens, wall, latencies)
+    _finalize_engine_report(report, engine, request_ids)
+    return report, results, streamed
 
 
 def measure_sequential_throughput(
@@ -241,4 +360,5 @@ __all__ = [
     "compare_serving_modes",
     "measure_sequential_throughput",
     "measure_serving_throughput",
+    "measure_streaming_throughput",
 ]

@@ -13,23 +13,38 @@ throughput-oriented engine:
   budget (:class:`PrefixCache`);
 * :mod:`repro.serving.engine` — :class:`ServingEngine`, which steps every
   in-flight request through one shared batched forward per iteration and is
-  token-identical to sequential :meth:`SpeculativeDecoder.generate`.
+  token-identical to sequential :meth:`SpeculativeDecoder.generate`;
+* :mod:`repro.serving.server` — :class:`AsyncServingEngine`, the asyncio
+  streaming front-end: per-request :class:`StreamHandle` with
+  ``async for burst in handle.stream()``, cooperative cancellation and
+  per-request deadlines, driving the engine loop on a background thread.
 
-See ``docs/serving.md`` for the design discussion.
+See ``docs/serving.md`` and ``docs/streaming.md`` for the design discussion.
 """
 
 from repro.serving.engine import ServingEngine
 from repro.serving.prefix_cache import PrefixCache, PrefixCacheStats
 from repro.serving.request import GenerationRequest, RequestState, RequestStatus
-from repro.serving.scheduler import Scheduler, SchedulerConfig
+from repro.serving.scheduler import PriorityConfig, Scheduler, SchedulerConfig
+from repro.serving.server import (
+    AsyncServingEngine,
+    RequestCancelled,
+    RequestDeadlineExceeded,
+    StreamHandle,
+)
 
 __all__ = [
+    "AsyncServingEngine",
     "GenerationRequest",
     "PrefixCache",
     "PrefixCacheStats",
+    "PriorityConfig",
+    "RequestCancelled",
+    "RequestDeadlineExceeded",
     "RequestState",
     "RequestStatus",
     "Scheduler",
     "SchedulerConfig",
     "ServingEngine",
+    "StreamHandle",
 ]

@@ -36,6 +36,15 @@ lengths (the cache is *ragged*), and every engine step:
 5. **retires** finished requests, reclaiming their cache rows and freeing
    scheduler budget so the next step can admit more work.
 
+Every commit is funnelled through :meth:`RequestState.record_commit`, which
+timestamps the burst and forwards it to any registered stream listeners —
+the observation-only hook the async front-end
+(:class:`~repro.serving.server.AsyncServingEngine`) turns into
+``async for burst in handle.stream()``.  Requests can also be **cancelled**
+(:meth:`ServingEngine.cancel`) or given a **deadline** at submission; both
+free the request's scheduler budget, prefix-cache retention copy and shared
+cache row in the same step, whether it was queued, mid-prefill or decoding.
+
 Because proposal, verification and acceptance reuse the sequential decoder's
 step functions, and because every row of the batched forward computes exactly
 what a batch-1 forward over that row would compute, the engine's outputs are
@@ -51,7 +60,7 @@ lengths) and are rejected at construction.
 from __future__ import annotations
 
 import time
-from typing import Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -160,6 +169,8 @@ class ServingEngine:
         self._prefilling: List[RequestState] = []
         self._states: Dict[str, RequestState] = {}
         self._results: Dict[str, DecodeResult] = {}
+        #: In-flight requests carrying a deadline; pruned as they finish.
+        self._deadlined: List[RequestState] = []
         self._next_id = 0
 
     # ------------------------------------------------------------------ #
@@ -171,6 +182,8 @@ class ServingEngine:
         prompt_ids: Sequence[int],
         config: Optional[GenerationConfig] = None,
         request_id: Optional[str] = None,
+        priority: int = 0,
+        deadline: Optional[float] = None,
     ) -> str:
         """Queue a tokenized prompt for generation; returns the request id.
 
@@ -181,6 +194,17 @@ class ServingEngine:
         duplicate ``request_id`` raises instead of clobbering the earlier
         request's result.  Auto-assigned ids skip over any ids the caller
         already used.
+
+        Args:
+            prompt_ids: Tokenized prompt (BOS included).
+            config: Per-request decoding configuration (defaults to greedy).
+            request_id: Caller-chosen id; auto-assigned when ``None``.
+            priority: Admission priority class (higher admits sooner); only
+                meaningful with ``SchedulerConfig(priorities=...)``.
+            deadline: Optional wall-clock budget in seconds, measured from
+                this call.  When it expires first, the request is cancelled
+                at the next step boundary (``DecodeResult.cancelled`` with
+                the partial output committed so far).
         """
         prompt = list(prompt_ids)
         if not prompt:
@@ -200,15 +224,21 @@ class ServingEngine:
             raise ValueError("request_id must be a non-empty string (or None to auto-assign)")
         if request_id in self._states:
             raise ValueError(f"duplicate request id {request_id!r}")
+        if deadline is not None and deadline <= 0.0:
+            raise ValueError(f"deadline must be positive (or None), got {deadline}")
         request = GenerationRequest(
             request_id=request_id,
             prompt_ids=prompt,
             config=config or GenerationConfig.greedy_config(),
             context_limit=self.max_seq_len,
+            priority=priority,
+            deadline_seconds=deadline,
         )
         state = RequestState(request=request, submitted_at=time.perf_counter())
         self._states[request_id] = state
         self.scheduler.submit(state)
+        if deadline is not None:
+            self._deadlined.append(state)
         return request_id
 
     def submit_text(
@@ -216,9 +246,13 @@ class ServingEngine:
         prompt: str,
         config: Optional[GenerationConfig] = None,
         request_id: Optional[str] = None,
+        priority: int = 0,
+        deadline: Optional[float] = None,
     ) -> str:
         """Tokenize ``prompt`` (adding BOS) and queue it for generation."""
-        return self.submit(self.tokenizer.encode(prompt, add_bos=True), config, request_id)
+        return self.submit(
+            self.tokenizer.encode(prompt, add_bos=True), config, request_id, priority, deadline
+        )
 
     @property
     def has_work(self) -> bool:
@@ -265,9 +299,93 @@ class ServingEngine:
         """Result of a finished request (KeyError while still in flight)."""
         return self._results[request_id]
 
+    def forget(self, request_id: str) -> DecodeResult:
+        """Drop a settled request's retained state; returns its final result.
+
+        The engine keeps every request's :class:`RequestState` and result so
+        ``result()``/``stream_metrics()`` work after completion — which on a
+        long-lived server is an unbounded retention.  Callers that have
+        consumed a request's result (e.g. a streaming front-end whose handle
+        already holds it) call this to release the bookkeeping: the state,
+        its commit timeline and the stored result are all dropped, and the
+        request id becomes unknown again (reusable).  Only ``FINISHED`` or
+        ``CANCELLED`` requests can be forgotten; forgetting an in-flight
+        request raises ``ValueError``.
+        """
+        state = self._states[request_id]
+        if state.status not in (RequestStatus.FINISHED, RequestStatus.CANCELLED):
+            raise ValueError(f"request {request_id!r} is still in flight ({state.status.value})")
+        del self._states[request_id]
+        # The deadline watch list is otherwise pruned lazily inside step();
+        # an idle server would retain the state through it indefinitely.
+        if state.request.deadline_seconds is not None:
+            self._deadlined = [s for s in self._deadlined if s is not state]
+        return self._results.pop(request_id)
+
     def scheduler_latency(self, request_id: str) -> float:
         """Submission-to-completion latency of a request, queueing included."""
         return self._states[request_id].latency_seconds
+
+    def request_status(self, request_id: str) -> RequestStatus:
+        """Current lifecycle status of a request (KeyError for unknown ids)."""
+        return self._states[request_id].status
+
+    def attach_listeners(
+        self,
+        request_id: str,
+        on_commit: Optional[Callable[[List[int]], None]] = None,
+        on_done: Optional[Callable[[RequestState], None]] = None,
+    ) -> None:
+        """Register observation-only streaming hooks on an in-flight request.
+
+        ``on_commit`` receives each committed token burst right after it
+        lands in the request's outputs; ``on_done`` fires once when the
+        request leaves the engine (finished or cancelled), after its result
+        was frozen.  Listeners must not mutate engine state — they exist so
+        front-ends (like :class:`~repro.serving.server.AsyncServingEngine`)
+        can observe commits without touching engine internals.  Attach
+        before the first step that could advance the request, or the stream
+        misses bursts.
+
+        Raises:
+            KeyError: Unknown ``request_id``.
+            ValueError: The request already finished (its listeners would
+                never fire).
+        """
+        state = self._states[request_id]
+        if state.status in (RequestStatus.FINISHED, RequestStatus.CANCELLED):
+            raise ValueError(f"request {request_id!r} already finished; listeners would never fire")
+        if on_commit is not None:
+            state.commit_listeners.append(on_commit)
+        if on_done is not None:
+            state.done_listeners.append(on_done)
+
+    def stream_metrics(self, request_id: str) -> dict:
+        """Streaming latency series of one request, from its commit timeline.
+
+        Returns a dict with:
+
+        * ``ttft_seconds`` — submission to first committed token (``None``
+          until something commits; includes queueing and prefill, which is
+          what a streaming client actually waits for);
+        * ``inter_token_seconds`` — one entry per token after the *first
+          burst*.  Tokens land in per-step bursts (simultaneously within a
+          burst), so the gap between consecutive commit events is spread
+          evenly over the later burst's tokens — the smoothed per-token
+          rate, summing to last-commit minus first-commit exactly;
+        * ``commit_events`` — the raw ``(seconds_since_submission,
+          num_tokens)`` burst series.
+        """
+        state = self._states[request_id]
+        events = [(t - state.submitted_at, n) for t, n in state.commit_events]
+        inter_token: List[float] = []
+        for (prev_t, _), (t, n) in zip(events, events[1:]):
+            inter_token.extend([(t - prev_t) / n] * n)
+        return {
+            "ttft_seconds": state.ttft_seconds,
+            "inter_token_seconds": inter_token,
+            "commit_events": events,
+        }
 
     def run(self) -> Dict[str, DecodeResult]:
         """Step until every submitted request has finished; return all results."""
@@ -280,7 +398,8 @@ class ServingEngine:
     # ------------------------------------------------------------------ #
 
     def step(self) -> None:
-        """Admit what fits, advance prefills a chunk, then step every running request."""
+        """Expire deadlines, admit what fits, advance prefills, step every running request."""
+        self._expire_deadlines()
         self._admit()
         self._advance_prefill()
         if not self._active:
@@ -289,6 +408,65 @@ class ServingEngine:
             self._step_ntp()
         else:
             self._step_speculative()
+
+    # -- cancellation and deadlines --------------------------------------- #
+
+    def cancel(self, request_id: str, timed_out: bool = False) -> bool:
+        """Cancel a request, releasing every resource it holds *immediately*.
+
+        Works in any pre-finished state and frees, in the same step:
+
+        * **queued** — its slot in the scheduler's waiting queue;
+        * **prefilling** — its ``tokens_in_flight`` footprint and concurrency
+          slot, plus its private prefill row (which also drops the retained
+          prefix-cache K/V spliced into it at admission);
+        * **running** — its footprint, concurrency slot and its row of the
+          shared KV cache (compacted out right here, not deferred to the
+          finished-request retirement path).
+
+        A partial :class:`~repro.core.decoding.DecodeResult` (``cancelled``
+        set, holding whatever tokens had committed) is frozen under the
+        request id, and done-listeners fire so streaming consumers unblock.
+        Returns True if the request was actually cancelled, False if it had
+        already finished (or was already cancelled) — cancellation after
+        completion is a no-op, never an error.
+
+        Raises:
+            KeyError: Unknown ``request_id``.
+        """
+        state = self._states[request_id]
+        if state.status in (RequestStatus.FINISHED, RequestStatus.CANCELLED):
+            return False
+        if state.status is RequestStatus.RUNNING:
+            row = self._active.index(state)
+            self._active.remove(state)
+            if self._cache is not None:
+                self._cache.select_rows([r for r in range(len(self._active) + 1) if r != row])
+        elif state.status is RequestStatus.PREFILLING:
+            self._prefilling.remove(state)
+        self.scheduler.remove(state)
+        # Dropping the private row releases the prefill K/V computed so far,
+        # including any prefix-cache segment spliced in at admission.
+        state.row_cache = None
+        state.status = RequestStatus.CANCELLED
+        state.timed_out = timed_out
+        self._finish(state, release=False)
+        return True
+
+    def _expire_deadlines(self) -> None:
+        """Cancel in-flight requests whose submission deadline has passed."""
+        if not self._deadlined:
+            return
+        now = time.perf_counter()
+        still_waiting: List[RequestState] = []
+        for state in self._deadlined:
+            if state.status in (RequestStatus.FINISHED, RequestStatus.CANCELLED):
+                continue
+            if now - state.submitted_at >= state.request.deadline_seconds:
+                self.cancel(state.request.request_id, timed_out=True)
+            else:
+                still_waiting.append(state)
+        self._deadlined = still_waiting
 
     # -- admission and prefill ------------------------------------------- #
 
@@ -395,10 +573,11 @@ class ServingEngine:
         continuing_rows: List[int] = []
         next_tokens: List[int] = []
         finished: List[RequestState] = []
+        commit_time = time.perf_counter()
         for row, state in enumerate(self._active):
             config = state.request.config
             token = sample_from_logits(state.last_base, config, state.rng)
-            state.output_ids.append(token)
+            state.record_commit([token], commit_time)
             state.step_records.append(StepRecord(proposed=1, accepted=1, committed=1, ends_at_boundary=True))
             if token == self.eos_id:
                 state.stopped_by_eos = True
@@ -519,7 +698,7 @@ class ServingEngine:
                 greedy_argmax=greedy_argmax,
             )
             committed = len(best_tokens)
-            state.output_ids.extend(best_tokens)
+            state.record_commit(best_tokens, time.perf_counter())
             state.step_records.append(
                 StepRecord(
                     proposed=len(candidates[0]),
@@ -628,7 +807,7 @@ class ServingEngine:
                 greedy_argmax=greedy_argmax,
             )
             committed = len(best_tokens)
-            state.output_ids.extend(best_tokens)
+            state.record_commit(best_tokens, time.perf_counter())
             # Requests that did not opt into trees ride along as forests, but
             # their *stats* keep the row-batched accounting (their own rows x
             # their own padded width) so a request's reported verified count
@@ -693,10 +872,17 @@ class ServingEngine:
             for state in finished:
                 self._finish(state)
 
-    def _finish(self, state: RequestState) -> None:
-        """Release the request from the scheduler and freeze its result."""
+    def _finish(self, state: RequestState, release: bool = True) -> None:
+        """Freeze the request's result and notify streaming consumers.
+
+        ``release=True`` (the normal completion path) also evicts the request
+        from the scheduler; cancellation passes ``release=False`` because
+        :meth:`cancel` already removed it (and must not have its ``CANCELLED``
+        status overwritten by the scheduler's ``FINISHED`` transition).
+        """
         state.finished_at = time.perf_counter()
-        self.scheduler.release(state)
+        if release:
+            self.scheduler.release(state)
         text = self.tokenizer.decode(state.output_ids, keep_frag=True)
         code = self.tokenizer.decode(state.output_ids, keep_frag=False)
         self._results[state.request.request_id] = state.to_result(text, code)
@@ -704,3 +890,4 @@ class ServingEngine:
         # arrays for the engine's lifetime.
         state.last_base = None
         state.last_heads = []
+        state.notify_done()

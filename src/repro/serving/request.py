@@ -10,14 +10,23 @@ moves through the :class:`~repro.serving.scheduler.Scheduler` states:
 entering its cache row, possibly one chunk per step) → ``RUNNING`` (owns a
 row of the shared KV cache) → ``FINISHED`` (result available).  Requests
 whose whole prompt prefills at admission pass through ``PREFILLING``
-instantaneously.
+instantaneously.  Cancellation (explicit, or via an expired deadline) can
+interrupt any pre-``FINISHED`` status and lands in ``CANCELLED``, with a
+partial result frozen from whatever had committed.
+
+Streaming observation rides on the same state: every committed token burst
+is timestamped into :attr:`RequestState.commit_events` and forwarded to any
+registered :attr:`RequestState.commit_listeners` — the hook the async
+front-end (:mod:`repro.serving.server`) builds ``stream()`` on.  Listeners
+observe commits; they never influence them, which is what keeps streamed
+tokens byte-identical to the batch ``result()`` path.
 """
 
 from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Callable, List, Optional, Tuple
 
 import numpy as np
 
@@ -33,6 +42,7 @@ class RequestStatus(enum.Enum):
     PREFILLING = "prefilling"
     RUNNING = "running"
     FINISHED = "finished"
+    CANCELLED = "cancelled"
 
 
 @dataclass
@@ -51,12 +61,24 @@ class GenerationRequest:
             can never occupy more cache positions than the window holds, so
             charging the scheduler beyond it would starve admission for
             budget the request cannot use.
+        priority: Admission priority class (higher runs sooner).  Only
+            meaningful when the scheduler was configured with
+            ``SchedulerConfig(priorities=...)``; plain FCFS scheduling
+            ignores it.  Aging prevents low classes from starving — see
+            :class:`~repro.serving.scheduler.PriorityConfig`.
+        deadline_seconds: Optional wall-clock budget measured from
+            submission.  When it expires before the request finishes, the
+            engine cancels the request at the next step boundary — whether it
+            is still queued, mid-prefill or decoding — freeing its scheduler
+            budget and cache row immediately and freezing a partial result.
     """
 
     request_id: str
     prompt_ids: List[int]
     config: GenerationConfig = field(default_factory=GenerationConfig.greedy_config)
     context_limit: Optional[int] = None
+    priority: int = 0
+    deadline_seconds: Optional[float] = None
 
     @property
     def footprint_tokens(self) -> int:
@@ -106,6 +128,29 @@ class RequestState:
     #: Prompt tokens served from the cross-request prefix cache instead of
     #: being prefilled.
     tokens_reused: int = 0
+    #: ``time.perf_counter`` of the first committed token (0.0 until then);
+    #: ``first_token_at - submitted_at`` is the request's TTFT.
+    first_token_at: float = 0.0
+    #: One ``(perf_counter_timestamp, num_tokens)`` entry per committed
+    #: burst, in commit order — the raw series TTFT and inter-token-latency
+    #: percentiles are computed from (:meth:`ServingEngine.stream_metrics`).
+    commit_events: List[Tuple[float, int]] = field(default_factory=list)
+    #: Observation-only streaming hooks, called with each committed token
+    #: burst (a list of ids) right after it lands in :attr:`output_ids`.
+    #: Listeners must not mutate engine state.
+    commit_listeners: List[Callable[[List[int]], None]] = field(default_factory=list)
+    #: Called exactly once when the request leaves the engine (``FINISHED``
+    #: or ``CANCELLED``), after its result was frozen.
+    done_listeners: List[Callable[["RequestState"], None]] = field(default_factory=list)
+    #: True when the request was cancelled because its deadline expired
+    #: (rather than by an explicit ``cancel`` call).
+    timed_out: bool = False
+    #: Admission rounds this request has waited in the queue; drives aging
+    #: under priority scheduling (see ``PriorityConfig.aging_rounds``).
+    waited_rounds: int = 0
+    #: Monotonic submission sequence number stamped by the scheduler; the
+    #: FCFS tie-breaker within an effective-priority level.
+    submit_seq: int = 0
     #: Private batch-1 cache holding the prompt while the request is
     #: ``PREFILLING``; merged into the engine's shared cache (and dropped
     #: here) when prefill completes.
@@ -132,23 +177,74 @@ class RequestState:
         """Submission-to-completion latency (includes queueing delay)."""
         return max(self.finished_at - self.submitted_at, 0.0)
 
+    @property
+    def ttft_seconds(self) -> Optional[float]:
+        """Submission-to-first-committed-token latency; None before any commit."""
+        if self.first_token_at <= 0.0:
+            return None
+        return max(self.first_token_at - self.submitted_at, 0.0)
+
+    def record_commit(self, tokens: List[int], timestamp: float) -> None:
+        """Append a committed burst, stamp timing, and notify stream listeners.
+
+        The single funnel every engine commit path goes through: tokens land
+        in :attr:`output_ids` first, then the burst is timestamped and
+        forwarded to listeners — so a listener always observes a state whose
+        outputs already contain the burst it is being told about.
+
+        Listeners are observation-only, and that isolation is enforced: a
+        listener that raises (e.g. a stream consumer whose event loop was
+        closed without detaching) is dropped, never allowed to abort the
+        engine step mid-commit — one broken observer must not corrupt the
+        shared cache or kill the other in-flight requests.
+        """
+        self.output_ids.extend(tokens)
+        if self.first_token_at <= 0.0:
+            self.first_token_at = timestamp
+        self.commit_events.append((timestamp, len(tokens)))
+        broken = []
+        for listener in self.commit_listeners:
+            try:
+                listener(list(tokens))
+            except Exception:
+                broken.append(listener)
+        for listener in broken:
+            self.commit_listeners.remove(listener)
+
+    def notify_done(self) -> None:
+        """Fire the done listeners (once; the engine calls this at finish/cancel).
+
+        Like commit listeners, done listeners are isolated: one raising does
+        not stop the others or propagate into the engine.
+        """
+        listeners, self.done_listeners = self.done_listeners, []
+        for listener in listeners:
+            try:
+                listener(self)
+            except Exception:
+                pass
+
     def to_result(self, text: str, code: str) -> DecodeResult:
         """Freeze this request into the same result type sequential decoding returns.
 
         ``wall_time_seconds`` covers admission to completion (prefill +
         decode, excluding queueing) so per-token rates stay comparable with
         :meth:`SpeculativeDecoder.generate`; queueing delay is reported
-        separately via :attr:`latency_seconds`.
+        separately via :attr:`latency_seconds`.  A request cancelled before
+        admission never started, so its wall time is 0.0 (``started_at`` is
+        only stamped at admission).
         """
+        started = self.started_at if self.started_at > 0.0 else self.finished_at
         return DecodeResult(
             token_ids=list(self.output_ids),
             text=text,
             code=code,
             steps=len(self.step_records),
             tokens_generated=len(self.output_ids),
-            wall_time_seconds=max(self.finished_at - self.started_at, 0.0),
+            wall_time_seconds=max(self.finished_at - started, 0.0),
             step_records=list(self.step_records),
             stopped_by_eos=self.stopped_by_eos,
             prefill_seconds=self.prefill_seconds,
             prompt_tokens_reused=self.tokens_reused,
+            cancelled=self.status is RequestStatus.CANCELLED,
         )

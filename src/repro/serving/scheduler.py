@@ -6,7 +6,11 @@ the occupants each step.  The policy is deliberately simple and fair:
 
 * **FCFS admission** — requests are admitted strictly in submission order;
   a large request at the head of the queue is never overtaken by a smaller
-  one behind it (no starvation).
+  one behind it (no starvation).  With
+  :class:`SchedulerConfig.priorities <PriorityConfig>` configured, admission
+  instead orders the queue by *effective priority* — the request's class
+  plus an aging bonus that grows while it waits — so latency-sensitive
+  traffic overtakes bulk traffic, but bulk traffic still cannot starve.
 * **Token-budget cap** — each request's worst-case context footprint
   (``prompt_len + max_new_tokens``, clamped to the model's context window)
   is charged against ``max_batch_tokens`` while it is running, bounding the
@@ -25,6 +29,8 @@ Eviction is cooperative: the engine calls :meth:`Scheduler.release` when a
 request finishes (EOS, token budget, or context-window exhaustion), freeing
 its budget so queued requests can be admitted at the next step boundary —
 this is what makes the batching *continuous* rather than static.
+Cancellation uses :meth:`Scheduler.remove`, which frees the same budget
+whether the request was still queued or already admitted.
 """
 
 from __future__ import annotations
@@ -34,6 +40,41 @@ from dataclasses import dataclass, field
 from typing import Deque, List, Optional
 
 from repro.serving.request import RequestState, RequestStatus
+
+
+@dataclass
+class PriorityConfig:
+    """Priority-class admission with aging (anti-starvation).
+
+    Requests carry an integer :attr:`~repro.serving.request.GenerationRequest.priority`
+    class (higher = more latency-sensitive).  At every admission round the
+    queue is ordered by **effective priority**::
+
+        effective = priority + waited_rounds // aging_rounds
+
+    and ties (including everything within one class) break FCFS by
+    submission order.  Because ``waited_rounds`` grows by one per admission
+    round, a waiting request's effective priority rises without bound: after
+    ``aging_rounds * gap`` rounds it overtakes fresh arrivals ``gap`` classes
+    above it, so no class can starve another indefinitely — the aging knob
+    trades how sharply priorities bite against how long bulk traffic may
+    wait.
+
+    Attributes:
+        aging_rounds: Admission rounds a request must wait to gain one
+            effective-priority level.  Smaller values age faster (weaker
+            prioritisation, stronger fairness).
+    """
+
+    aging_rounds: int = 8
+
+    def __post_init__(self) -> None:
+        if self.aging_rounds < 1:
+            raise ValueError(f"aging_rounds must be positive, got {self.aging_rounds}")
+
+    def effective_priority(self, state: RequestState) -> int:
+        """The request's priority class plus its accumulated aging bonus."""
+        return state.request.priority + state.waited_rounds // self.aging_rounds
 
 
 @dataclass
@@ -51,11 +92,15 @@ class SchedulerConfig:
             many tokens per engine step (FCFS across ``PREFILLING``
             requests), interleaved with decode steps for the already-running
             batch; ``None`` prefills each admitted prompt whole at admission.
+        priorities: Enable priority-class admission with aging
+            (:class:`PriorityConfig`).  ``None`` (the default) keeps strict
+            FCFS admission and ignores request priorities entirely.
     """
 
     max_active_requests: int = 8
     max_batch_tokens: int = 4096
     max_prefill_tokens_per_step: Optional[int] = None
+    priorities: Optional[PriorityConfig] = None
 
     def __post_init__(self) -> None:
         if self.max_active_requests < 1:
@@ -76,6 +121,9 @@ class Scheduler:
     config: SchedulerConfig = field(default_factory=SchedulerConfig)
     waiting: Deque[RequestState] = field(default_factory=deque)
     running: List[RequestState] = field(default_factory=list)
+    #: Monotonic submission counter; stamps ``RequestState.submit_seq`` (the
+    #: FCFS tie-breaker under priority admission).
+    submitted_count: int = 0
 
     # -- inspection ----------------------------------------------------------
 
@@ -104,23 +152,35 @@ class Scheduler:
     # -- transitions ---------------------------------------------------------
 
     def submit(self, state: RequestState) -> None:
-        """Append a request to the FCFS queue."""
+        """Append a request to the admission queue (FCFS position stamped)."""
         state.status = RequestStatus.QUEUED
+        state.submit_seq = self.submitted_count
+        self.submitted_count += 1
         self.waiting.append(state)
 
     def admit(self) -> List[RequestState]:
         """Pop queued requests that fit the concurrency and token budgets.
 
-        Admission is strictly in submission order and stops at the first
-        request that does not fit, so later small requests cannot starve an
-        earlier large one.  If nothing is running, the head request is
-        admitted unconditionally (progress guarantee).
+        Without priorities, admission is strictly in submission order and
+        stops at the first request that does not fit, so later small requests
+        cannot starve an earlier large one.  With
+        ``SchedulerConfig.priorities`` set, the queue is first reordered by
+        effective priority (class + aging bonus, FCFS within a level — see
+        :class:`PriorityConfig`) and admission then proceeds identically over
+        that order; every request still waiting afterwards ages by one round.
+        Either way, if nothing is running the head request is admitted
+        unconditionally (progress guarantee).
 
         Admitted requests enter the ``PREFILLING`` status (their prompt has
         yet to enter the cache); the engine flips them to ``RUNNING`` once
         prefill completes — instantly unless ``max_prefill_tokens_per_step``
         paces it.  They occupy budget and a ``running`` slot either way.
         """
+        policy = self.config.priorities
+        if policy is not None and len(self.waiting) > 1:
+            self.waiting = deque(
+                sorted(self.waiting, key=lambda s: (-policy.effective_priority(s), s.submit_seq))
+            )
         admitted: List[RequestState] = []
         tokens = self.tokens_in_flight
         while self.waiting:
@@ -136,9 +196,28 @@ class Scheduler:
             self.running.append(head)
             admitted.append(head)
             tokens += head.request.footprint_tokens
+        if policy is not None:
+            for state in self.waiting:
+                state.waited_rounds += 1
         return admitted
 
     def release(self, state: RequestState) -> None:
         """Evict a finished request, freeing its token budget and cache row."""
         state.status = RequestStatus.FINISHED
         self.running.remove(state)
+
+    def remove(self, state: RequestState) -> None:
+        """Drop a request from the scheduler wherever it sits (cancellation).
+
+        A queued request leaves the waiting queue; an admitted one
+        (``PREFILLING`` or ``RUNNING``) leaves ``running``, immediately
+        freeing its ``tokens_in_flight`` footprint and concurrency slot for
+        the next admission round.  The caller owns the status transition.
+        """
+        if state in self.running:
+            self.running.remove(state)
+        else:
+            try:
+                self.waiting.remove(state)
+            except ValueError:
+                pass

@@ -1,0 +1,409 @@
+"""Asyncio streaming front-end over the continuous-batching serving engine.
+
+:class:`AsyncServingEngine` is the layer a network server would sit on: it
+drives a :class:`~repro.serving.engine.ServingEngine`'s step loop on a
+background thread and exposes each request as a :class:`StreamHandle` whose
+``async for burst in handle.stream()`` yields **committed-token bursts** the
+moment the engine commits them — one burst per speculative step (one token
+per burst under NTP), which is exactly the unit the paper's decoder produces.
+
+Design rules:
+
+* **Observation only.**  Streaming attaches listeners to the request's
+  commit funnel (:meth:`~repro.serving.request.RequestState.record_commit`);
+  it never changes what the engine computes.  The concatenation of streamed
+  bursts is therefore byte-identical to the batch ``result().token_ids`` for
+  every decode mode — asserted in ``tests/test_streaming.py``.
+* **One lock, two threads.**  The event loop submits/cancels under the same
+  lock the step thread holds while stepping, so engine state is never
+  touched concurrently.  Listener callbacks run on the step thread and hand
+  bursts to the consumer with ``loop.call_soon_threadsafe`` — the only
+  asyncio API that is safe to call from outside the loop.
+* **Cooperative cancellation.**  ``handle.cancel()`` (or a per-request
+  ``deadline=``) routes to :meth:`ServingEngine.cancel`, which frees the
+  request's scheduler budget, prefix-cache retention copy and shared-cache
+  row in the same step.  A cancelled request's ``result()`` raises
+  :class:`RequestCancelled` (or :class:`RequestDeadlineExceeded`) carrying
+  the partial result; its stream raises too — unless the cancellation came
+  from this very handle, in which case the stream just ends.
+
+Typical use::
+
+    engine = pipeline.engine_for("ours")
+    async with AsyncServingEngine(engine) as server:
+        handle = await server.submit_text(prompt, config, deadline=2.0)
+        async for burst in handle.stream():
+            print(tokenizer.decode(burst), end="", flush=True)
+        result = await handle.result()
+
+See ``docs/streaming.md`` for the full semantics.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from typing import AsyncIterator, List, Optional, Sequence
+
+from repro.core.decoding import DecodeResult
+from repro.models.generation import GenerationConfig
+from repro.serving.engine import ServingEngine
+from repro.serving.request import RequestState, RequestStatus
+
+
+class RequestCancelled(Exception):
+    """A served request was cancelled before it finished.
+
+    Attributes:
+        request_id: The cancelled request.
+        partial: The partial :class:`~repro.core.decoding.DecodeResult`
+            frozen at cancellation (``partial.cancelled`` is True and
+            ``partial.token_ids`` holds everything committed before the
+            cancel landed).
+    """
+
+    def __init__(self, request_id: str, partial: DecodeResult) -> None:
+        super().__init__(f"request {request_id!r} was cancelled after {partial.tokens_generated} tokens")
+        self.request_id = request_id
+        self.partial = partial
+
+
+class RequestDeadlineExceeded(RequestCancelled):
+    """A served request hit its per-request deadline and was cancelled."""
+
+    def __init__(self, request_id: str, partial: DecodeResult) -> None:
+        RequestCancelled.__init__(self, request_id, partial)
+        # Replace the generic message with the deadline-specific one.
+        self.args = (
+            f"request {request_id!r} exceeded its deadline after {partial.tokens_generated} tokens",
+        )
+
+
+#: Queue sentinel marking the end of a request's burst stream.
+_DONE = object()
+
+
+class StreamHandle:
+    """One submitted request, as seen by an asyncio consumer.
+
+    Produced by :meth:`AsyncServingEngine.submit`; not constructed directly.
+    The handle owns an unbounded burst queue fed from the engine thread, so a
+    slow consumer never back-pressures the engine (bursts are small integer
+    lists; the queue is bounded in practice by ``max_new_tokens``).
+    """
+
+    def __init__(self, server: "AsyncServingEngine", request_id: str, loop: asyncio.AbstractEventLoop) -> None:
+        self._server = server
+        self._loop = loop
+        self._queue: "asyncio.Queue[object]" = asyncio.Queue()
+        self._done = asyncio.Event()
+        self._result: Optional[DecodeResult] = None
+        #: A RequestCancelled/RequestDeadlineExceeded for cancelled requests,
+        #: or the raw engine exception when the step thread crashed.
+        self._error: Optional[BaseException] = None
+        self._cancel_requested = False
+        #: Caller-visible id of the underlying engine request.
+        self.request_id = request_id
+
+    # -- engine-thread side (listener callbacks) -------------------------- #
+
+    def _on_commit(self, burst: List[int]) -> None:
+        # Engine thread → loop thread handoff; put_nowait never blocks on an
+        # unbounded queue, so the engine step is not delayed by consumers.
+        self._loop.call_soon_threadsafe(self._queue.put_nowait, burst)
+
+    def _on_done(self, state: RequestState) -> None:
+        result = self._server.engine.result(state.request.request_id)
+        error: Optional[RequestCancelled] = None
+        if state.status is RequestStatus.CANCELLED:
+            exc_type = RequestDeadlineExceeded if state.timed_out else RequestCancelled
+            error = exc_type(state.request.request_id, result)
+        self._loop.call_soon_threadsafe(self._settle, result, error)
+
+    # -- loop side --------------------------------------------------------- #
+
+    def _settle(self, result: DecodeResult, error: Optional[RequestCancelled]) -> None:
+        self._result = result
+        self._error = error
+        self._done.set()
+        self._queue.put_nowait(_DONE)
+        # Settled handles leave the server's in-flight list immediately — a
+        # long-lived server must not retain every result it ever produced.
+        self._server._discard(self)
+
+    def _fail(self, error: BaseException) -> None:
+        """Engine-thread crash: unblock the consumer with the original error."""
+        if self._done.is_set():
+            return
+        self._error = error
+        self._done.set()
+        self._queue.put_nowait(_DONE)
+        self._server._discard(self)
+
+    @property
+    def done(self) -> bool:
+        """True once the request finished or was cancelled."""
+        return self._done.is_set()
+
+    async def stream(self) -> AsyncIterator[List[int]]:
+        """Yield committed-token bursts as the engine commits them.
+
+        Each burst is the list of token ids one engine step committed for
+        this request (a single id under NTP; up to ``heads + 1`` ids per
+        speculative step).  The stream ends when the request finishes.  If
+        the request was cancelled by a deadline or by *another* caller, the
+        tail of the stream raises the corresponding
+        :class:`RequestCancelled`; a cancellation requested through this
+        handle's own :meth:`cancel` ends the stream quietly (the consumer
+        asked for it).
+        """
+        while True:
+            item = await self._queue.get()
+            if item is _DONE:
+                # Re-arm so a second stream() call (or result()) still sees
+                # the terminal state instead of hanging on an empty queue.
+                self._queue.put_nowait(_DONE)
+                if self._error is not None:
+                    # Only a cancellation this handle itself requested ends
+                    # the stream quietly; engine crashes always propagate.
+                    own = self._cancel_requested and isinstance(self._error, RequestCancelled)
+                    if not own:
+                        raise self._error
+                return
+            yield item  # type: ignore[misc]
+
+    async def tokens(self) -> AsyncIterator[int]:
+        """Like :meth:`stream`, flattened to one token id at a time."""
+        async for burst in self.stream():
+            for token in burst:
+                yield token
+
+    async def result(self) -> DecodeResult:
+        """Wait for completion and return the final result.
+
+        Identical to the synchronous ``engine.result(request_id)`` — streamed
+        bursts concatenate to exactly ``result().token_ids``.  Raises
+        :class:`RequestCancelled` / :class:`RequestDeadlineExceeded` if the
+        request did not run to completion (the exception's ``partial``
+        carries the tokens that did commit).
+        """
+        await self._done.wait()
+        if self._error is not None:
+            raise self._error
+        assert self._result is not None
+        return self._result
+
+    def cancel(self) -> bool:
+        """Cooperatively cancel this request; returns False if already done.
+
+        Safe to call from the event loop at any point in the request's life:
+        queued, mid-prefill or mid-decode.  The engine frees the request's
+        scheduler budget and cache rows in the same step; this handle's
+        stream then ends quietly and :meth:`result` raises
+        :class:`RequestCancelled`.
+
+        Blocks the calling thread while the step thread holds the engine
+        lock (typically well under one step on this repo's model sizes);
+        latency-sensitive loops with many concurrent streams should prefer
+        :meth:`cancel_async`, which waits on a worker thread instead.
+        """
+        self._cancel_requested = True
+        return self._server._cancel(self.request_id)
+
+    async def cancel_async(self) -> bool:
+        """Like :meth:`cancel`, but acquires the engine lock off the event
+        loop — burst delivery to other streams continues while this
+        cancellation waits its turn (the same discipline ``submit`` uses)."""
+        self._cancel_requested = True
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(None, self._server._cancel, self.request_id)
+
+
+class AsyncServingEngine:
+    """Drives a :class:`ServingEngine` on a background thread, async-first.
+
+    Args:
+        engine: The engine to serve.  The server owns its step loop while
+            running — do not call ``engine.step()``/``engine.run()``
+            concurrently (submitting through the engine directly bypasses
+            streaming and is also not supported while the server runs).
+        poll_interval: How long the step thread sleeps when the engine has
+            no work, in seconds.  Work submitted while the thread sleeps is
+            picked up at the next poll, so this bounds added first-step
+            latency on an idle server.
+
+    Use as an async context manager (``async with AsyncServingEngine(...)``),
+    or call :meth:`start` / :meth:`close` explicitly.
+    """
+
+    def __init__(self, engine: ServingEngine, poll_interval: float = 0.001) -> None:
+        if poll_interval <= 0:
+            raise ValueError(f"poll_interval must be positive, got {poll_interval}")
+        self.engine = engine
+        self.poll_interval = poll_interval
+        #: Serialises every engine touch: the step thread holds it per step,
+        #: submit/cancel take it from the event loop.
+        self._lock = threading.Lock()
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        #: In-flight handles only; settled handles drop out immediately.
+        self._handles: List[StreamHandle] = []
+        #: The exception that killed the step thread, if one did.
+        self._crashed: Optional[BaseException] = None
+
+    # -- lifecycle --------------------------------------------------------- #
+
+    @property
+    def running(self) -> bool:
+        """True while the background step thread is alive."""
+        return self._thread is not None and self._thread.is_alive()
+
+    def start(self) -> None:
+        """Start the background step thread (idempotent while running).
+
+        Raises ``RuntimeError`` after a step-thread crash — the engine's
+        shared cache state is suspect once a step died mid-flight.
+        """
+        if self._crashed is not None:
+            raise RuntimeError("serving step thread crashed; build a fresh engine") from self._crashed
+        if self.running:
+            return
+        self._stop.clear()
+        self._thread = threading.Thread(target=self._step_loop, name="serving-engine-step", daemon=True)
+        self._thread.start()
+
+    async def close(self, cancel_pending: bool = True) -> None:
+        """Stop the step thread; by default cancel whatever is still in flight.
+
+        ``cancel_pending=True`` cancels unfinished requests so consumers
+        blocked on ``stream()``/``result()`` unblock (with
+        :class:`RequestCancelled`) instead of hanging forever on a server
+        that no longer steps.  Pass False to leave engine state untouched —
+        the caller can then drive ``engine.run()`` synchronously.
+        """
+        self._stop.set()
+        thread = self._thread
+        if thread is not None:
+            # Join off the event loop so a long in-flight step cannot block it.
+            await asyncio.get_running_loop().run_in_executor(None, thread.join)
+            self._thread = None
+        if cancel_pending:
+            with self._lock:
+                for handle in self._handles:
+                    # Skip handles whose own cancel is already in flight —
+                    # resetting their flag here would turn the documented
+                    # quiet stream end into a surprise RequestCancelled.
+                    if not handle.done and not handle._cancel_requested:
+                        self.engine.cancel(handle.request_id)
+            # The cancellations above settle their handles via call_soon;
+            # yield once so those callbacks run before we prune, otherwise a
+            # repeatedly start()/close()d server retains every handle it ever
+            # cancelled at close.
+            await asyncio.sleep(0)
+        self._handles = [handle for handle in self._handles if not handle.done]
+
+    async def __aenter__(self) -> "AsyncServingEngine":
+        self.start()
+        return self
+
+    async def __aexit__(self, exc_type, exc, tb) -> None:
+        await self.close()
+
+    def _step_loop(self) -> None:
+        while not self._stop.is_set():
+            try:
+                with self._lock:
+                    worked = self.engine.has_work
+                    if worked:
+                        self.engine.step()
+            except BaseException as error:  # noqa: BLE001 — must not die silently
+                # A crashed step thread must not strand consumers on
+                # stream()/result() forever: fail every in-flight handle
+                # with the original error and stop stepping.
+                self._crashed = error
+                for handle in list(self._handles):
+                    handle._loop.call_soon_threadsafe(handle._fail, error)
+                return
+            if not worked:
+                # Idle: nothing queued, prefilling or running.  Sleep on the
+                # stop event so close() wakes us immediately.
+                self._stop.wait(self.poll_interval)
+
+    # -- submission -------------------------------------------------------- #
+
+    async def submit(
+        self,
+        prompt_ids: Sequence[int],
+        config: Optional[GenerationConfig] = None,
+        request_id: Optional[str] = None,
+        priority: int = 0,
+        deadline: Optional[float] = None,
+    ) -> StreamHandle:
+        """Queue a tokenized prompt; returns its :class:`StreamHandle`.
+
+        Mirrors :meth:`ServingEngine.submit` (same validation, same
+        semantics for ``priority`` and ``deadline``); the listeners that feed
+        the handle are attached under the engine lock, before any step can
+        run, so the stream never misses a burst.  The lock is acquired on a
+        worker thread (the step thread may hold it for a whole engine step),
+        so awaiting ``submit`` never stalls the event loop — burst delivery
+        to other consumers continues while this submission waits its turn.
+        """
+        if self._crashed is not None:
+            raise RuntimeError("serving step thread crashed; build a fresh engine") from self._crashed
+        loop = asyncio.get_running_loop()
+
+        def locked_submit() -> StreamHandle:
+            with self._lock:
+                if self._crashed is not None:
+                    raise RuntimeError(
+                        "serving step thread crashed; build a fresh engine"
+                    ) from self._crashed
+                rid = self.engine.submit(prompt_ids, config, request_id, priority, deadline)
+                handle = StreamHandle(self, rid, loop)
+                self.engine.attach_listeners(rid, on_commit=handle._on_commit, on_done=handle._on_done)
+                return handle
+
+        handle = await loop.run_in_executor(None, locked_submit)
+        # A tiny request can settle (and self-discard) between the executor
+        # returning and this coroutine resuming; don't re-add it.
+        if not handle.done:
+            self._handles.append(handle)
+            if self._crashed is not None:
+                # The step thread died between our submission and this append;
+                # its crash fan-out could not see the handle yet, so fail it
+                # here — a consumer must never hang on a dead server.
+                handle._fail(self._crashed)
+        return handle
+
+    async def submit_text(
+        self,
+        prompt: str,
+        config: Optional[GenerationConfig] = None,
+        request_id: Optional[str] = None,
+        priority: int = 0,
+        deadline: Optional[float] = None,
+    ) -> StreamHandle:
+        """Tokenize ``prompt`` (adding BOS) and queue it for streaming."""
+        return await self.submit(
+            self.engine.tokenizer.encode(prompt, add_bos=True), config, request_id, priority, deadline
+        )
+
+    def _cancel(self, request_id: str) -> bool:
+        with self._lock:
+            return self.engine.cancel(request_id)
+
+    def _discard(self, handle: StreamHandle) -> None:
+        """Forget a settled handle (runs on the event loop, like close())."""
+        try:
+            self._handles.remove(handle)
+        except ValueError:
+            pass
+
+
+__all__ = [
+    "AsyncServingEngine",
+    "RequestCancelled",
+    "RequestDeadlineExceeded",
+    "StreamHandle",
+]
