@@ -35,6 +35,15 @@ tracks TTFT (time to first token) and inter-token latency percentiles,
 asserting that chunked prefill delivers first tokens sooner than
 whole-prompt prefill on a concurrent long-prompt batch — and that streamed
 bursts concatenate to exactly the batch ``result()`` tokens.
+
+A fourth workload (``test_paged_kv_shared_prefix_memory``) serves the same
+shared-preamble prompts through the paged block-pool K/V backend and the
+row-copy backend, asserting token-identity, a strictly lower peak K/V
+footprint for paged (shared preamble pages are aliased, not duplicated),
+and that paged prefix-cache hits copy zero K/V tokens while row hits
+materialise every reused position (the zero-copy guarantee from
+``docs/kv-memory.md``).  Peak bytes, COW events and the shared-block ratio
+land in ``throughput_paged_kv.json``.
 """
 
 from __future__ import annotations
@@ -231,6 +240,91 @@ def test_shared_prefix_prefill_reuse(benchmark, trained_pipeline, rtllm_subset, 
         reuse_report.prefill_tokens + reuse_report.reused_tokens
         == baseline_report.prefill_tokens
     )
+
+
+@pytest.mark.benchmark(group="serving-paged-kv")
+def test_paged_kv_shared_prefix_memory(benchmark, trained_pipeline, rtllm_subset, vgen_subset):
+    """Paged block-pool K/V vs. row-copy K/V on the shared-preamble workload.
+
+    Both engines get the same prefix cache budget and admission knobs; the
+    only difference is the K/V backend.  Paged retention pins preamble pages
+    by reference and splices them into new requests by aliasing block ids, so
+    the shared preamble exists once in memory regardless of how many requests
+    reuse it — the row backend materialises a private copy per request.  The
+    assertions pin the tentpole guarantees: identical tokens, strictly lower
+    peak K/V bytes, and zero copied prefix tokens in paged mode.
+    """
+    prompts = _shared_prefix_workload(
+        trained_pipeline, rtllm_subset, vgen_subset, SHARED_PREFIX_REQUESTS
+    )
+    max_new_tokens = 24 if SMOKE else 48
+    config = GenerationConfig.greedy_config(max_new_tokens)
+    scheduler_config = SchedulerConfig(
+        max_active_requests=4, max_prefill_tokens_per_step=32
+    )
+
+    def engine_for_mode(kv_memory):
+        return trained_pipeline.engine_for(
+            "ours",
+            scheduler_config=scheduler_config,
+            prefix_cache=PrefixCache(max_tokens=8192),
+            kv_memory=kv_memory,
+        )
+
+    row_report, row_results = measure_serving_throughput(
+        engine_for_mode("row"), prompts, config, label="ours+row-kv"
+    )
+
+    def serve_paged():
+        return measure_serving_throughput(
+            engine_for_mode("paged"), prompts, config, label="ours+paged-kv"
+        )
+
+    paged_report, paged_results = benchmark.pedantic(serve_paged, rounds=1, iterations=1)
+
+    reduction = 1.0 - paged_report.kv_peak_bytes / max(row_report.kv_peak_bytes, 1)
+    print(
+        f"\n=== Paged vs. row K/V memory ({SHARED_PREFIX_REQUESTS} requests, "
+        f"{len(SHARED_PREFIX_PREAMBLES)} preambles, greedy) ==="
+    )
+    header = (
+        f"{'mode':<10} {'peak KV bytes':>14} {'copied toks':>12} {'COW':>6} "
+        f"{'hit rate':>9} {'req/s':>8}"
+    )
+    print(header)
+    print("-" * len(header))
+    for report in (row_report, paged_report):
+        print(
+            f"{report.kv_memory:<10} {report.kv_peak_bytes:>14} "
+            f"{report.kv_prefix_copy_tokens:>12} {report.kv_cow_events:>6} "
+            f"{report.prefix_hit_rate:>9.2f} {report.requests_per_second:>8.1f}"
+        )
+    print(f"peak KV reduction: {reduction:.1%}")
+
+    emit_bench_json(
+        "throughput_paged_kv",
+        {
+            "num_requests": SHARED_PREFIX_REQUESTS,
+            "num_preambles": len(SHARED_PREFIX_PREAMBLES),
+            "max_new_tokens": max_new_tokens,
+            "row": row_report.to_dict(),
+            "paged": paged_report.to_dict(),
+            "peak_kv_reduction": reduction,
+        },
+    )
+
+    # The backend is a memory-layout change, never a behaviour change.
+    assert [r.token_ids for r in paged_results] == [r.token_ids for r in row_results]
+    # Both backends exercised prefix reuse — otherwise nothing is compared.
+    assert paged_report.prefix_hit_rate > 0.0 and row_report.prefix_hit_rate > 0.0
+    # The memory claim: aliased preamble pages beat per-request copies.
+    assert 0 < paged_report.kv_peak_bytes < row_report.kv_peak_bytes, (
+        f"paged peak {paged_report.kv_peak_bytes} not below "
+        f"row peak {row_report.kv_peak_bytes}"
+    )
+    # Zero-copy hits: paged splices pages, row gathers K/V into fresh buffers.
+    assert paged_report.kv_prefix_copy_tokens == 0
+    assert row_report.kv_prefix_copy_tokens > 0
 
 
 #: Concurrent long-prompt requests in the streaming TTFT workload.

@@ -207,7 +207,16 @@ class VerilogSpecPipeline:
             use_cache=use_cache,
         )
 
-    def engine_for(self, method: str, num_candidates: int = 3, scheduler_config=None, prefix_cache=None):
+    def engine_for(
+        self,
+        method: str,
+        num_candidates: int = 3,
+        scheduler_config=None,
+        prefix_cache=None,
+        kv_memory: str = "paged",
+        kv_block_size: int = 16,
+        kv_pool_blocks=None,
+    ):
         """Return a continuous-batching :class:`~repro.serving.ServingEngine`.
 
         The engine serves many concurrent requests through one shared batched
@@ -222,6 +231,12 @@ class VerilogSpecPipeline:
             prefix_cache: Optional :class:`~repro.serving.PrefixCache`
                 enabling cross-request prompt-prefix reuse (outputs stay
                 token-identical; only prefill work changes).
+            kv_memory: K/V storage mode — ``"paged"`` (default: refcounted
+                block pool with copy-on-write sharing) or ``"row"``
+                (contiguous per-row buffers); see ``docs/kv-memory.md``.
+            kv_block_size: Tokens per physical block in paged mode.
+            kv_pool_blocks: Paged pool capacity in blocks (``None`` sizes it
+                from the scheduler budgets).
 
         Returns:
             A fresh engine wrapping the trained model for ``method``.
@@ -237,4 +252,7 @@ class VerilogSpecPipeline:
             num_candidates=num_candidates,
             scheduler_config=scheduler_config,
             prefix_cache=prefix_cache,
+            kv_memory=kv_memory,
+            kv_block_size=kv_block_size,
+            kv_pool_blocks=kv_pool_blocks,
         )

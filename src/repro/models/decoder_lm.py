@@ -82,6 +82,10 @@ class TinyCodeLlama:
         """Create an empty per-layer KV cache for incremental decoding."""
         return self.transformer.make_cache(batch=batch, capacity=capacity)
 
+    def make_block_pool(self, block_size: int = 16, num_blocks: int = 256):
+        """Create a paged K/V block pool matching this backbone's geometry."""
+        return self.transformer.make_block_pool(block_size=block_size, num_blocks=num_blocks)
+
     def backward(self, grad_hidden: np.ndarray) -> None:
         """Backpropagate a gradient arriving at the hidden states."""
         self.transformer.backward(grad_hidden)

@@ -173,6 +173,23 @@ class MedusaLM(Module):
         """
         return self.backbone.make_cache(batch=batch, capacity=capacity)
 
+    def new_block_pool(self, block_size: int = 16, num_blocks: int = 256):
+        """Create a paged K/V block pool for serving this model (decoder-only).
+
+        Returns a :class:`~repro.nn.kv_pool.KVBlockPool` matching the
+        backbone's layer/head geometry; the serving engine builds
+        :class:`~repro.nn.kv_pool.PagedKVCache` sequences over it.  Paged
+        serving needs per-block cross-attention memory management that does
+        not exist, so encoder-decoder backbones are rejected — the same
+        restriction the engine itself enforces.
+        """
+        if self.is_encoder_decoder:
+            raise ValueError(
+                "paged KV pools support decoder-only backbones; encoder-decoder "
+                "models would need paged cross-attention memories (not implemented)"
+            )
+        return self.backbone.make_block_pool(block_size=block_size, num_blocks=num_blocks)
+
     def backward(self, grad_base: np.ndarray, grad_heads: Sequence[np.ndarray]) -> None:
         """Backpropagate per-head logit gradients into the backbone."""
         grad_hidden = self.base_head.backward(grad_base)

@@ -54,6 +54,18 @@ request.  Two segment operations support it:
 Cross-attention K/V (encoder-decoder models) is position-independent on the
 decoder side, so each layer slot can additionally hold the projected encoder
 memory, computed once at prefill and reused for every decode step.
+
+**Row vs. paged storage.**  This module stores each row as one contiguous
+buffer sized for the full context window — simple, and the reference
+implementation the rest of the stack is validated against.  The serving
+engine defaults to the *paged* storage in :mod:`repro.nn.kv_pool` instead
+(fixed-size refcounted blocks, copy-on-write prefix sharing), which turns
+this module's copying operations (``splice_prefix``, ``repeat_rows``,
+``compact_rows``, ``select_rows``) into block-table aliasing.  The two are
+token-identical by construction and by test (``tests/test_kv_pool.py``,
+``tests/test_serving.py``); row caches remain the storage of single-stream
+decoding and the token-identity oracle for the paged path.  See
+``docs/kv-memory.md`` for the memory-model comparison.
 """
 
 from __future__ import annotations
@@ -247,6 +259,30 @@ class KVCache:
         """Per-row real-token widths declared for the next forward (or None)."""
         return self.layers[0].append_widths
 
+    @property
+    def nbytes(self) -> int:
+        """Allocated K/V buffer storage (all layers, full capacity, plus cross K/V).
+
+        This is *reserved* memory — ``batch x capacity`` positions per layer
+        whatever the rows actually hold — which is exactly the number the
+        paged pool's ``peak_kv_bytes`` is compared against in the
+        shared-prefix memory bench.
+        """
+        total = sum(layer.k.nbytes + layer.v.nbytes for layer in self.layers)
+        for layer in self.layers:
+            if layer.has_cross:
+                total += layer.cross_k.nbytes + layer.cross_v.nbytes
+        return total
+
+    def release(self) -> None:
+        """No-op, for call-site symmetry with :meth:`PagedKVCache.release`.
+
+        Row caches free their storage through garbage collection; paged
+        caches must drop pool block references explicitly.  The serving
+        engine releases every superseded cache generation unconditionally so
+        its step logic is identical across both memory modes.
+        """
+
     def set_append_widths(self, widths: Optional[Sequence[int]]) -> None:
         """Declare per-row real-token widths for the next incremental forward.
 
@@ -365,6 +401,16 @@ class KVCache:
             [layer.v[row, :, :length].copy() for layer in self.layers],
         )
 
+    def snapshot_prefix(self, row: int, length: int) -> KVSegment:
+        """The retention-unit snapshot of a row prefix — a copy, for row caches.
+
+        Mode-neutral alias the serving engine calls when retaining a prompt's
+        K/V: row caches copy the positions out (:meth:`gather_prefix`), paged
+        caches return a refcounted block reference
+        (:meth:`PagedKVCache.snapshot_prefix`) without copying anything.
+        """
+        return self.gather_prefix(row, length)
+
     def splice_prefix(self, row: int, segment: KVSegment) -> None:
         """Copy a retained segment into fresh ``row``, making it the row's prefix.
 
@@ -374,6 +420,12 @@ class KVCache:
         The row must be empty (length 0) — splicing is an admission-time
         operation, not a general overwrite.
         """
+        if not isinstance(segment, KVSegment):
+            raise TypeError(
+                f"row caches splice KVSegment copies, got {type(segment).__name__}; "
+                f"a PrefixCache mixes paged and row segments only if it is shared between "
+                f"engines with different kv_memory modes — give each mode its own cache"
+            )
         if not 0 <= row < self.batch:
             raise IndexError(f"row {row} out of range for batch {self.batch}")
         if int(self.layers[0].lengths[row]) != 0:

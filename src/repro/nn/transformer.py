@@ -199,6 +199,26 @@ class DecoderOnlyTransformer(Module):
             batch=batch,
         )
 
+    def make_block_pool(self, block_size: int = 16, num_blocks: int = 256) -> "KVBlockPool":
+        """Create a paged K/V block pool matching this transformer's geometry.
+
+        The pool is shared storage only; sequences over it are
+        :class:`~repro.nn.kv_pool.PagedKVCache` instances, which this model's
+        :meth:`forward` accepts anywhere it accepts a :class:`KVCache` (the
+        per-layer views implement the same append/gather contract).  See
+        :mod:`repro.nn.kv_pool` and ``docs/kv-memory.md`` for sizing.
+        """
+        from repro.nn.kv_pool import KVBlockPool
+
+        attn = self.blocks[0].attn
+        return KVBlockPool(
+            num_layers=len(self.blocks),
+            num_heads=attn.num_heads,
+            head_dim=attn.head_dim,
+            block_size=block_size,
+            num_blocks=num_blocks,
+        )
+
     def backward(self, grad_hidden: np.ndarray) -> None:
         grad = self.final_norm.backward(grad_hidden)
         for block in reversed(self.blocks):

@@ -10,10 +10,16 @@ throughput-oriented engine:
   :class:`SchedulerConfig`);
 * :mod:`repro.serving.prefix_cache` — cross-request prompt-prefix reuse: a
   token trie over retained KV segments, LRU-evicted under a token/byte
-  budget (:class:`PrefixCache`);
+  budget (:class:`PrefixCache`); under paged K/V memory, retention pins
+  shared pool blocks by refcount instead of copying, and hits splice in
+  zero-copy;
 * :mod:`repro.serving.engine` — :class:`ServingEngine`, which steps every
   in-flight request through one shared batched forward per iteration and is
-  token-identical to sequential :meth:`SpeculativeDecoder.generate`;
+  token-identical to sequential :meth:`SpeculativeDecoder.generate`.  K/V
+  memory defaults to the paged block pool of :mod:`repro.nn.kv_pool`
+  (``kv_memory="paged"``), with the contiguous row cache
+  (``kv_memory="row"``) kept as the reference oracle — see
+  ``docs/kv-memory.md``;
 * :mod:`repro.serving.server` — :class:`AsyncServingEngine`, the asyncio
   streaming front-end: per-request :class:`StreamHandle` with
   ``async for burst in handle.stream()``, cooperative cancellation and

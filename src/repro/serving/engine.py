@@ -3,8 +3,8 @@
 :class:`ServingEngine` turns the single-stream speculative decoder into a
 multi-request server: many in-flight requests advance through **one shared
 batched forward per iteration**.  Each running request owns one row of a
-shared :class:`~repro.nn.kv_cache.KVCache`; rows sit at different prefix
-lengths (the cache is *ragged*), and every engine step:
+shared cache; rows sit at different prefix lengths (the cache is *ragged*),
+and every engine step:
 
 1. **admits** queued requests the :class:`~repro.serving.scheduler.Scheduler`
    lets in, prefilling each prompt once and merging the new row into the
@@ -45,12 +45,26 @@ the observation-only hook the async front-end
 free the request's scheduler budget, prefix-cache retention copy and shared
 cache row in the same step, whether it was queued, mid-prefill or decoding.
 
+**K/V memory** comes in two interchangeable flavours (``kv_memory``, see
+``docs/kv-memory.md``).  The default, ``"paged"``, stores every row as a
+block table over one shared refcounted
+:class:`~repro.nn.kv_pool.KVBlockPool`: row tiling for verification and
+prefix-cache splices alias physical blocks instead of copying them
+(copy-on-write protects shared blocks from divergent appends), cancellation
+and retirement return pages to the free list instead of compacting
+contiguous buffers, and admission is additionally gated on the pool's free
+pages (with prefix-cache LRU eviction as the reclaim path under pressure).
+``"row"`` keeps per-row contiguous :class:`~repro.nn.kv_cache.KVCache`
+buffers — simpler, copy-heavy, and the token-identity reference oracle the
+paged path is asserted against.  :meth:`ServingEngine.kv_pool_stats` reports
+occupancy, sharing and copy-on-write counters either way.
+
 Because proposal, verification and acceptance reuse the sequential decoder's
 step functions, and because every row of the batched forward computes exactly
 what a batch-1 forward over that row would compute, the engine's outputs are
 token-identical to calling :meth:`SpeculativeDecoder.generate` per prompt —
 ``tests/test_serving.py`` asserts this for all three strategies with 8
-concurrent requests.
+concurrent requests, in both K/V memory modes.
 
 The engine currently serves decoder-only backbones; encoder-decoder models
 would additionally need ragged cross-attention memories (prompts of different
@@ -85,6 +99,7 @@ from repro.core.token_tree import (
 from repro.models.generation import GenerationConfig, sample_from_logits
 from repro.models.medusa import MedusaLM
 from repro.nn.kv_cache import KVCache
+from repro.nn.kv_pool import KVBlockPool, PagedKVCache
 from repro.serving.prefix_cache import PrefixCache
 from repro.serving.request import GenerationRequest, RequestState, RequestStatus
 from repro.serving.scheduler import Scheduler, SchedulerConfig
@@ -113,6 +128,17 @@ class ServingEngine:
             admission reuses the longest retained prompt prefix instead of
             re-prefilling it, and every completed prefill is retained for
             later requests.  ``None`` (the default) disables reuse.
+        kv_memory: K/V storage mode — ``"paged"`` (the default; block tables
+            over one shared refcounted pool, zero-copy sharing with
+            copy-on-write) or ``"row"`` (contiguous per-row buffers, the
+            reference oracle).  Outputs are token-identical either way.
+        kv_block_size: Tokens per physical block in paged mode.  Smaller
+            blocks waste less capacity on partially-filled tails but cost
+            more table indirection per gather.
+        kv_pool_blocks: Total physical blocks in the paged pool.  ``None``
+            sizes it from the scheduler budgets (worst-case committed
+            context + speculative verification transient + prefix-cache
+            retention); see :meth:`_default_pool_blocks`.
     """
 
     def __init__(
@@ -125,6 +151,9 @@ class ServingEngine:
         max_speculative_heads: Optional[int] = None,
         scheduler_config: Optional[SchedulerConfig] = None,
         prefix_cache: Optional[PrefixCache] = None,
+        kv_memory: str = "paged",
+        kv_block_size: int = 16,
+        kv_pool_blocks: Optional[int] = None,
     ) -> None:
         if model.is_encoder_decoder:
             raise ValueError(
@@ -143,6 +172,27 @@ class ServingEngine:
         )
         self.scheduler = Scheduler(scheduler_config or SchedulerConfig())
         self.prefix_cache = prefix_cache
+        if kv_memory not in ("paged", "row"):
+            raise ValueError(f"kv_memory must be 'paged' or 'row', got {kv_memory!r}")
+        self.kv_memory = kv_memory
+        self._pool: Optional[KVBlockPool] = None
+        if kv_memory == "paged":
+            self._pool = model.new_block_pool(
+                block_size=kv_block_size,
+                num_blocks=kv_pool_blocks or self._default_pool_blocks(kv_block_size),
+            )
+            # Last-resort reclaim before the pool raises KVPoolExhausted:
+            # drop retained prefix-cache entries so their unshared blocks
+            # return to the free list mid-allocation.
+            self._pool.on_pressure = self._reclaim_pages
+        #: Prompt tokens physically copied into cache rows by prefix-cache
+        #: splices.  Row mode copies every reused position; paged mode
+        #: aliases blocks, so this stays 0 — the zero-copy assertion the
+        #: serving tests pin down.
+        self.prefix_copy_tokens = 0
+        #: Row-mode peak of summed live cache bytes (the paged pool tracks
+        #: its own physical peak; see :meth:`kv_pool_stats`).
+        self._kv_bytes_peak = 0
         if prefix_cache is not None:
             # Retained K/V is model-specific; binding rejects accidentally
             # sharing one cache across engines that wrap different models.
@@ -161,8 +211,9 @@ class ServingEngine:
         self.eos_id = vocab.eos_id
         self.bos_id = vocab.bos_id
         self.max_seq_len = model.backbone.max_seq_len
-        #: Shared ragged cache: one row per entry of ``_active`` (same order).
-        self._cache: Optional[KVCache] = None
+        #: Shared ragged cache (``KVCache`` or ``PagedKVCache`` per
+        #: ``kv_memory``): one row per entry of ``_active`` (same order).
+        self._cache = None
         self._active: List[RequestState] = []
         #: Admitted requests whose prompts are still entering their private
         #: batch-1 caches (chunked prefill); FCFS order.
@@ -172,6 +223,139 @@ class ServingEngine:
         #: In-flight requests carrying a deadline; pruned as they finish.
         self._deadlined: List[RequestState] = []
         self._next_id = 0
+
+    # ------------------------------------------------------------------ #
+    # K/V memory
+    # ------------------------------------------------------------------ #
+
+    def _default_pool_blocks(self, block_size: int) -> int:
+        """Size the paged pool from the scheduler budgets.
+
+        Worst-case committed context (the scheduler's token budget, plus one
+        partially-filled tail block per request), plus the speculative
+        verification transient (each request tiled once per candidate; every
+        tile copy-on-writes its tail block and appends the speculative
+        window), plus full prefix-cache retention, plus a small slack so
+        transient chunked-prefill tails never graze the ceiling.
+        """
+
+        def blocks(tokens: int) -> int:
+            return -(-tokens // block_size)
+
+        cfg = self.scheduler.config
+        decode = blocks(cfg.max_batch_tokens) + cfg.max_active_requests
+        window = self.max_speculative_heads + 2
+        speculative = cfg.max_active_requests * self.num_candidates * (1 + blocks(window))
+        retention = blocks(self.prefix_cache.max_tokens) if self.prefix_cache is not None else 0
+        return decode + speculative + retention + 8
+
+    def _reclaim_pages(self) -> bool:
+        """Pool-pressure hook: free pages by dropping a retained prefix entry.
+
+        Returns True when an entry was evicted (the pool retries the
+        allocation; each eviction strictly shrinks the prefix cache, so the
+        retry loop terminates), False when nothing is reclaimable — at which
+        point the pool raises :class:`~repro.nn.kv_pool.KVPoolExhausted`.
+        """
+        if self.prefix_cache is None:
+            return False
+        return self.prefix_cache.evict_lru()
+
+    def _admission_kwargs(self) -> dict:
+        """Scheduler.admit budgets: the pool's free pages, in tokens.
+
+        The per-request overhead charges the tail block its footprint
+        rounds into plus the verification transient (one copy-on-write tail
+        block and a window's worth of fresh blocks per candidate tile), so
+        an admitted batch can always complete a speculative step without
+        tripping the pressure path.
+
+        Free pages are reported net of the *outstanding* claims of requests
+        admitted earlier: each in-flight request was admitted against its
+        whole footprint-plus-overhead, but only holds the blocks its rows
+        have grown into so far.  Handing the difference to a new admission
+        would double-book the same pages across steps and drive a tight pool
+        into :class:`~repro.nn.kv_pool.KVPoolExhausted` once both requests
+        reach their peak.
+        """
+        if self._pool is None:
+            return {}
+        block_size = self._pool.block_size
+        window = self.max_speculative_heads + 2
+        overhead_blocks = 1 + self.num_candidates * (1 + -(-window // block_size))
+        overhead_tokens = overhead_blocks * block_size
+        reserved = 0
+        for row, state in enumerate(self._active):
+            held = self._cache.blocks_held(row) * block_size if self._cache is not None else 0
+            reserved += max(0, state.request.footprint_tokens + overhead_tokens - held)
+        for state in self._prefilling:
+            held = state.row_cache.blocks_held(0) * block_size if state.row_cache is not None else 0
+            reserved += max(0, state.request.footprint_tokens + overhead_tokens - held)
+        return {
+            "free_page_tokens": max(0, self._pool.num_free * block_size - reserved),
+            "page_overhead_tokens": overhead_tokens,
+        }
+
+    def _new_row_cache(self):
+        """Fresh single-row cache for a prefilling request, in the engine's mode."""
+        if self._pool is not None:
+            return PagedKVCache(self._pool, batch=1)
+        return self.model.new_cache()
+
+    def _concat(self, caches):
+        """Merge caches into one shared batch, dispatching on the memory mode."""
+        if self._pool is not None:
+            return PagedKVCache.concat(caches)
+        return KVCache.concat(caches)
+
+    def _note_kv_bytes(self, extra: int = 0) -> None:
+        """Track row-mode peak K/V bytes (paged mode: the pool tracks itself)."""
+        if self._pool is not None:
+            return
+        total = extra + self._row_kv_bytes()
+        if total > self._kv_bytes_peak:
+            self._kv_bytes_peak = total
+
+    def _row_kv_bytes(self) -> int:
+        total = self._cache.nbytes if self._cache is not None else 0
+        for state in self._prefilling:
+            if state.row_cache is not None:
+                total += state.row_cache.nbytes
+        return total
+
+    def kv_pool_stats(self) -> dict:
+        """K/V memory counters of this engine, uniform across both modes.
+
+        Paged mode reports the pool's physical truth — block occupancy,
+        cross-row sharing, copy-on-write events, peak blocks ever resident —
+        plus ``prefix_copy_tokens`` (always 0: prefix hits alias pages).
+        Row mode reports the same keys with block fields ``None``/0, byte
+        fields from the engine-tracked sum of live contiguous buffers
+        (*reserved* capacity, which is what row mode actually allocates),
+        and ``prefix_copy_tokens`` counting every spliced position.  The
+        shared-prefix memory bench compares ``peak_kv_bytes`` across modes.
+        """
+        if self._pool is not None:
+            stats = self._pool.stats()
+            stats["kv_memory"] = "paged"
+            stats["prefix_copy_tokens"] = self.prefix_copy_tokens
+            return stats
+        in_use = self._row_kv_bytes()
+        self._kv_bytes_peak = max(self._kv_bytes_peak, in_use)
+        return {
+            "kv_memory": "row",
+            "block_size": None,
+            "num_blocks": None,
+            "blocks_in_use": None,
+            "blocks_free": None,
+            "occupancy": None,
+            "shared_blocks": 0,
+            "shared_block_ratio": 0.0,
+            "cow_events": 0,
+            "kv_bytes_in_use": in_use,
+            "peak_kv_bytes": self._kv_bytes_peak,
+            "prefix_copy_tokens": self.prefix_copy_tokens,
+        }
 
     # ------------------------------------------------------------------ #
     # Submission and results
@@ -446,7 +630,11 @@ class ServingEngine:
             self._prefilling.remove(state)
         self.scheduler.remove(state)
         # Dropping the private row releases the prefill K/V computed so far,
-        # including any prefix-cache segment spliced in at admission.
+        # including any prefix-cache segment spliced in at admission; in
+        # paged mode the explicit release returns its block refs to the pool
+        # immediately (pages free now, not at garbage collection).
+        if state.row_cache is not None:
+            state.row_cache.release()
         state.row_cache = None
         state.status = RequestStatus.CANCELLED
         state.timed_out = timed_out
@@ -476,11 +664,25 @@ class ServingEngine:
         Each admitted request gets a fresh batch-1 cache row.  With a prefix
         cache attached, the longest retained prefix of the prompt (capped at
         ``prompt_len - 1`` so the suffix forward always produces the
-        last-position logits that seed decoding) is copied in via
-        :meth:`~repro.nn.kv_cache.KVCache.splice_prefix`; the request then
-        only prefills its suffix.
+        last-position logits that seed decoding) is spliced in — a zero-copy
+        block-table alias in paged mode, a per-layer copy in row mode; the
+        request then only prefills its suffix.
+
+        In paged mode admission is additionally gated on the pool's free
+        pages (:meth:`_admission_kwargs`); before asking the scheduler, the
+        head-of-queue request pre-evicts retained prefix entries while it
+        would not fit, so retention never starves admission.
         """
-        for state in self.scheduler.admit():
+        if self._pool is not None and self.prefix_cache is not None and self.scheduler.waiting:
+            head = self.scheduler.waiting[0]
+            kwargs = self._admission_kwargs()
+            needed = head.request.footprint_tokens + kwargs["page_overhead_tokens"]
+            while (
+                self._admission_kwargs()["free_page_tokens"] < needed
+                and self.prefix_cache.evict_lru()
+            ):
+                pass
+        for state in self.scheduler.admit(**self._admission_kwargs()):
             state.started_at = time.perf_counter()
             prompt = state.request.prompt_ids
             if decoder_budget_exceeded(len(prompt), 0, 1, self.max_seq_len):
@@ -488,12 +690,16 @@ class ServingEngine:
                 # empty output, exactly like sequential generate.
                 self._finish(state)
                 continue
-            state.row_cache = self.model.new_cache()
+            state.row_cache = self._new_row_cache()
             state.rng = np.random.default_rng(state.request.config.seed)
             if self.prefix_cache is not None:
                 matched, segment = self.prefix_cache.lookup(prompt, limit=len(prompt) - 1)
                 if matched:
                     state.row_cache.splice_prefix(0, segment)
+                    if self._pool is None:
+                        # Row mode physically copies the reused positions;
+                        # paged splices alias blocks and charge nothing here.
+                        self.prefix_copy_tokens += matched
                     state.prefill_pos = matched
                     state.tokens_reused = matched
                     self.tokens_reused_total += matched
@@ -551,19 +757,24 @@ class ServingEngine:
             else:
                 still_prefilling.append(state)
         self._prefilling = still_prefilling
+        self._note_kv_bytes()
         if not ready:
             return
-        new_caches: List[KVCache] = []
+        new_caches: List = []
         for state in ready:
             prompt = state.request.prompt_ids
             if self.prefix_cache is not None and self.prefix_cache.would_retain(prompt):
-                self.prefix_cache.insert(prompt, state.row_cache.gather_prefix(0, len(prompt)))
+                # snapshot_prefix is the mode-neutral retention hook: a
+                # per-layer copy (KVSegment) in row mode, a refcounted block
+                # pin (PagedPrefix, zero-copy) in paged mode.
+                self.prefix_cache.insert(prompt, state.row_cache.snapshot_prefix(0, len(prompt)))
             state.status = RequestStatus.RUNNING
             new_caches.append(state.row_cache)
             state.row_cache = None
             self._active.append(state)
         existing = [self._cache] if self._cache is not None and self._cache.batch > 0 else []
-        self._cache = KVCache.concat(existing + new_caches)
+        self._cache = self._concat(existing + new_caches)
+        self._note_kv_bytes()
 
     # -- NTP: one committed token per request per step ------------------- #
 
@@ -649,6 +860,7 @@ class ServingEngine:
         # zeroing) full max_seq_len buffers every iteration.
         step_capacity = int(self._cache.length) + window
         step_cache = self._cache.repeat_rows(counts, capacity=step_capacity)
+        self._note_kv_bytes(extra=step_cache.nbytes)
         row_widths = np.repeat(np.asarray(request_widths, dtype=np.int64), counts)
         step_cache.set_append_widths(row_widths)
         try:
@@ -729,9 +941,14 @@ class ServingEngine:
             state.last_heads = [h[index] for h in head_logits]
 
         # Compact: accepted candidate row per request, rolled back to its
-        # committed prefix (one fused copy); then reclaim the rows of
-        # finished requests.
-        self._cache = step_cache.compact_rows(keep_rows, committed_lengths)
+        # committed prefix (one fused copy in row mode, a block-table alias
+        # in paged mode); then release the transient tiling and the old
+        # shared cache (paged: drop their block refs — no-op in row mode)
+        # and reclaim the rows of finished requests.
+        new_cache = step_cache.compact_rows(keep_rows, committed_lengths)
+        step_cache.release()
+        self._cache.release()
+        self._cache = new_cache
         self._retire_finished()
 
     def _verify_tree_step(
@@ -762,6 +979,7 @@ class ServingEngine:
         # One row per request; the step cache lives only for this forward, so
         # trim its capacity to the step's maximum extent.
         step_cache = self._cache.repeat_rows(1, capacity=view)
+        self._note_kv_bytes(extra=step_cache.nbytes)
         tokens = pad_tree_tokens(trees, window)
         bias = tree_bias_cached(trees, prefixes, window, view)
         offsets = tree_position_offsets(trees, window)
@@ -841,8 +1059,14 @@ class ServingEngine:
             state.last_heads = [h[index] for h in head_logits]
 
         # Compact every row to its committed prefix + accepted path (one
-        # fused copy); then reclaim the rows of finished requests.
-        self._cache = step_cache.compact_paths(list(range(len(active))), prefixes, paths)
+        # fused copy of the path tokens; paged mode aliases the prefix
+        # blocks); then release the transient step cache and the old shared
+        # cache (paged: drop their block refs — no-op in row mode) and
+        # reclaim the rows of finished requests.
+        new_cache = step_cache.compact_paths(list(range(len(active))), prefixes, paths)
+        step_cache.release()
+        self._cache.release()
+        self._cache = new_cache
         self._retire_finished()
 
     # -- completion ------------------------------------------------------ #

@@ -25,30 +25,46 @@ tokens (or bytes) exceed the configured budget.  Eviction removes the
 entry's trie path; nodes shared with surviving entries stay, so partial
 matches through shared preambles keep working.
 
-Cost model: each retained prompt owns an independent whole-prompt segment,
-so a preamble shared by ``N`` retained prompts is stored (and charged
-against the budget) ``N`` times — size ``max_tokens`` for the *summed*
-prompt lengths you want resident, not for the number of distinct preambles.
-Sharing segment storage per trie edge (paged/block K/V, vLLM-style) would
-cut that to once per preamble and is the natural next step if retention
-budgets become the bottleneck; it changes storage only, not the lookup or
-eviction semantics.
+Retained segments come in the two K/V storage flavours of the engine
+(``docs/kv-memory.md``):
+
+* :class:`~repro.nn.kv_cache.KVSegment` — row mode.  Each retained prompt
+  owns an independent per-layer copy, so a preamble shared by ``N``
+  retained prompts is stored (and charged against the byte budget) ``N``
+  times.
+* :class:`~repro.nn.kv_pool.PagedPrefix` — paged mode.  Retention pins the
+  prompt's *blocks* in the engine's :class:`~repro.nn.kv_pool.KVBlockPool`
+  by reference count; no K/V is copied, and prompts sharing a trie path
+  share the underlying blocks.  Byte accounting follows the physical
+  blocks: a block pinned by several retained prompts is charged against
+  ``max_bytes`` **once** (the cache tracks per-block reference counts), so
+  the byte budget measures real pool occupancy rather than the summed
+  virtual sizes row mode would copy.
 
 Reuse is a pure compute-layout change — the spliced K/V is byte-for-byte
 what prefilling the prefix would recompute — so engine outputs stay
 token-identical with the cache enabled (asserted in ``tests/test_serving.py``
-and the golden fixtures).
+and the golden fixtures).  In paged mode a hit is additionally *zero-copy*:
+the request's block table aliases the retained blocks instead of copying
+them (copy-on-write protects them from divergent appends).
 """
 
 from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Sequence, Set, Tuple
+from typing import Dict, Optional, Sequence, Set, Tuple, Union
 
 from repro.nn.kv_cache import KVSegment
+from repro.nn.kv_pool import PagedPrefix
 
 TokenKey = Tuple[int, ...]
+
+#: Retained-K/V handle: a per-layer copy (row mode) or a refcounted block
+#: reference (paged mode).  Both expose ``length``, ``nbytes`` and
+#: ``head(length)``; only :class:`PagedPrefix` has ``block_ids`` /
+#: ``block_nbytes`` / ``release``, which the cache probes with ``getattr``.
+Segment = Union[KVSegment, PagedPrefix]
 
 
 @dataclass
@@ -112,7 +128,7 @@ class _TrieNode:
 @dataclass
 class _Entry:
     tokens: TokenKey
-    segment: KVSegment
+    segment: Segment
 
 
 @dataclass
@@ -125,7 +141,10 @@ class PrefixCache:
         max_bytes: Optional additional budget on summed segment storage
             (K and V, all layers); ``None`` leaves bytes unbounded.  The
             token and byte budgets are both enforced — eviction runs until
-            the cache satisfies every configured bound.
+            the cache satisfies every configured bound.  With paged
+            segments, a physical block pinned by several retained prompts
+            is charged **once** — the budget tracks real pool occupancy,
+            not the summed virtual prompt sizes.
     """
 
     max_tokens: int = 4096
@@ -142,6 +161,11 @@ class PrefixCache:
         self._root = _TrieNode()
         self._num_tokens = 0
         self._num_bytes = 0
+        #: Per-block retention refcounts (paged segments only): how many
+        #: retained entries pin each physical block.  A block is charged to
+        #: ``_num_bytes`` when its count goes 0 -> 1 and credited back when
+        #: it returns to 0, so shared blocks are accounted exactly once.
+        self._block_refs: Dict[int, int] = {}
         self._owner: Optional[object] = None
 
     def bind(self, owner: object) -> None:
@@ -174,7 +198,12 @@ class PrefixCache:
 
     @property
     def num_bytes(self) -> int:
-        """Summed segment storage of all retained entries."""
+        """Summed segment storage of all retained entries.
+
+        Row segments contribute their full copied size; paged segments
+        contribute each pinned physical block once, however many entries
+        share it.
+        """
         return self._num_bytes
 
     def __contains__(self, tokens: Sequence[int]) -> bool:
@@ -182,7 +211,7 @@ class PrefixCache:
 
     # -- lookup --------------------------------------------------------------
 
-    def lookup(self, tokens: Sequence[int], limit: Optional[int] = None) -> Tuple[int, Optional[KVSegment]]:
+    def lookup(self, tokens: Sequence[int], limit: Optional[int] = None) -> Tuple[int, Optional[Segment]]:
         """Longest retained prefix of ``tokens``, as ``(matched_len, segment_view)``.
 
         Walks the trie along ``tokens`` (at most ``limit`` of them) as deep as
@@ -238,7 +267,7 @@ class PrefixCache:
             return False
         return True
 
-    def insert(self, tokens: Sequence[int], segment: KVSegment) -> bool:
+    def insert(self, tokens: Sequence[int], segment: Segment) -> bool:
         """Retain ``segment`` as the K/V of prompt ``tokens``; returns True if stored.
 
         The segment must cover exactly ``len(tokens)`` positions.  Re-inserting
@@ -247,18 +276,24 @@ class PrefixCache:
         evicting everything else would just thrash).  After a successful
         insert, least-recently-used entries are evicted until every configured
         budget holds again.
+
+        The cache takes ownership of the segment: a rejected paged segment is
+        released immediately (unpinning its blocks), a retained one when it is
+        later evicted.
         """
         key = tuple(int(token) for token in tokens)
-        if not key:
-            return False
         if segment.length != len(key):
             raise ValueError(f"segment covers {segment.length} positions for a {len(key)}-token prompt")
-        if key in self._entries:
-            self._entries.move_to_end(key)
-            return False
-        if len(key) > self.max_tokens:
-            return False
-        if self.max_bytes is not None and segment.nbytes > self.max_bytes:
+        stored = False
+        if key and len(key) <= self.max_tokens and not (
+            self.max_bytes is not None and segment.nbytes > self.max_bytes
+        ):
+            if key in self._entries:
+                self._entries.move_to_end(key)
+            else:
+                stored = True
+        if not stored:
+            self._release_segment(segment)
             return False
         entry = _Entry(tokens=key, segment=segment)
         self._entries[key] = entry
@@ -267,10 +302,59 @@ class PrefixCache:
             node = node.children.setdefault(token, _TrieNode())
             node.entries.add(key)
         self._num_tokens += len(key)
-        self._num_bytes += segment.nbytes
+        self._charge(segment)
         self.stats.insertions += 1
         self._evict_to_budget(keep=key)
         return True
+
+    def evict_lru(self) -> bool:
+        """Drop the least-recently-used entry; ``False`` when nothing is retained.
+
+        The paged engine's pool-pressure hook: eviction releases the entry's
+        block references, so any block no other entry (or live request) still
+        shares returns to the pool's free list immediately.
+        """
+        if not self._entries:
+            return False
+        self._remove(next(iter(self._entries)))
+        return True
+
+    def _charge(self, segment: Segment) -> None:
+        # Add the segment's storage to ``_num_bytes``.  Paged segments charge
+        # per *physical block*, first pin only; row segments charge their
+        # full copied size.
+        block_ids = getattr(segment, "block_ids", None)
+        if block_ids is None:
+            self._num_bytes += segment.nbytes
+            return
+        for block in block_ids:
+            count = self._block_refs.get(block, 0)
+            if count == 0:
+                self._num_bytes += segment.block_nbytes
+            self._block_refs[block] = count + 1
+
+    def _discharge(self, segment: Segment) -> None:
+        # Inverse of :meth:`_charge`: credit bytes back when the last
+        # retained pin of a block disappears.
+        block_ids = getattr(segment, "block_ids", None)
+        if block_ids is None:
+            self._num_bytes -= segment.nbytes
+            return
+        for block in block_ids:
+            count = self._block_refs[block] - 1
+            if count == 0:
+                del self._block_refs[block]
+                self._num_bytes -= segment.block_nbytes
+            else:
+                self._block_refs[block] = count
+
+    @staticmethod
+    def _release_segment(segment: Segment) -> None:
+        # Paged segments hold pool refcounts that must be dropped explicitly;
+        # row segments are plain copies with nothing to release.
+        release = getattr(segment, "release", None)
+        if release is not None:
+            release()
 
     def _evict_to_budget(self, keep: Optional[TokenKey] = None) -> None:
         # ``keep`` (the just-inserted entry) sits at the MRU tail, so the LRU
@@ -288,7 +372,8 @@ class PrefixCache:
     def _remove(self, key: TokenKey) -> None:
         entry = self._entries.pop(key)
         self._num_tokens -= len(key)
-        self._num_bytes -= entry.segment.nbytes
+        self._discharge(entry.segment)
+        self._release_segment(entry.segment)
         self.stats.evictions += 1
         # Unlink the entry from its trie path, pruning nodes no surviving
         # entry passes through (leaf-to-root, so parents see updated children).

@@ -21,9 +21,17 @@ the occupants each step.  The policy is deliberately simple and fair:
   request with a long prompt cannot stall every in-flight decoder for the
   duration of one monolithic prefill (chunked prefill; requests sit in the
   ``PREFILLING`` status while their prompt enters the cache chunk by chunk).
+* **Free-page gate** — with the engine's paged KV pool
+  (:mod:`repro.nn.kv_pool`), admission is additionally capped by the pool's
+  free pages: :meth:`Scheduler.admit` takes the engine-computed
+  ``free_page_tokens`` budget and defers requests that would over-commit
+  physical blocks, so page exhaustion surfaces as queueing (and resolves as
+  running requests finish and free pages) instead of as a mid-step
+  allocation failure.
 * **Progress guarantee** — when nothing is running, the head-of-queue
-  request is admitted even if it alone exceeds the token budget; otherwise
-  an oversized request would deadlock the queue.
+  request is admitted even if it alone exceeds the token budget (or the
+  free-page budget); otherwise an oversized request would deadlock the
+  queue.
 
 Eviction is cooperative: the engine calls :meth:`Scheduler.release` when a
 request finishes (EOS, token budget, or context-window exhaustion), freeing
@@ -158,8 +166,12 @@ class Scheduler:
         self.submitted_count += 1
         self.waiting.append(state)
 
-    def admit(self) -> List[RequestState]:
-        """Pop queued requests that fit the concurrency and token budgets.
+    def admit(
+        self,
+        free_page_tokens: Optional[int] = None,
+        page_overhead_tokens: int = 0,
+    ) -> List[RequestState]:
+        """Pop queued requests that fit the concurrency, token and page budgets.
 
         Without priorities, admission is strictly in submission order and
         stops at the first request that does not fit, so later small requests
@@ -175,6 +187,21 @@ class Scheduler:
         yet to enter the cache); the engine flips them to ``RUNNING`` once
         prefill completes — instantly unless ``max_prefill_tokens_per_step``
         paces it.  They occupy budget and a ``running`` slot either way.
+
+        Args:
+            free_page_tokens: Paged-KV admission budget for *this round*:
+                token capacity of the pool's currently-free blocks, minus any
+                engine-held reserve.  Each admitted request is charged its
+                worst-case footprint plus ``page_overhead_tokens`` against
+                it; a request that does not fit is **deferred** (page
+                exhaustion shows up as queueing, not as a mid-step
+                allocation failure) until running requests finish and free
+                their pages.  ``None`` — the row-cache engine — disables the
+                gate.
+            page_overhead_tokens: Per-request page slack the engine reserves
+                on top of the footprint: the partially-filled last block plus
+                the transient copy-on-write blocks of speculative candidate
+                tiling.
         """
         policy = self.config.priorities
         if policy is not None and len(self.waiting) > 1:
@@ -183,19 +210,25 @@ class Scheduler:
             )
         admitted: List[RequestState] = []
         tokens = self.tokens_in_flight
+        pages_left = free_page_tokens
         while self.waiting:
             head = self.waiting[0]
             active = len(self.running)
             if active >= self.config.max_active_requests:
                 break
-            fits = tokens + head.request.footprint_tokens <= self.config.max_batch_tokens
-            if not fits and active > 0:
+            footprint = head.request.footprint_tokens
+            fits_tokens = tokens + footprint <= self.config.max_batch_tokens
+            page_cost = footprint + page_overhead_tokens
+            fits_pages = pages_left is None or page_cost <= pages_left
+            if not (fits_tokens and fits_pages) and active > 0:
                 break
             self.waiting.popleft()
             head.status = RequestStatus.PREFILLING
             self.running.append(head)
             admitted.append(head)
-            tokens += head.request.footprint_tokens
+            tokens += footprint
+            if pages_left is not None:
+                pages_left -= page_cost
         if policy is not None:
             for state in self.waiting:
                 state.waited_rounds += 1

@@ -12,10 +12,13 @@ import numpy as np
 import pytest
 
 from repro.nn.kv_cache import KVCache, KVSegment
+from repro.nn.kv_pool import KVBlockPool, PagedKVCache
 from repro.serving.prefix_cache import PrefixCache
 
 LAYERS, HEADS, HEAD_DIM = 2, 2, 4
 BYTES_PER_TOKEN = 2 * LAYERS * HEADS * HEAD_DIM * 4  # K and V, float32
+BLOCK = 4
+BLOCK_NBYTES = BLOCK * BYTES_PER_TOKEN  # one pool block: K and V, all layers
 
 
 def make_segment(length: int, seed: int = 0) -> KVSegment:
@@ -291,3 +294,102 @@ class TestPrefixCacheRetention:
         assert data["hit_rate"] == 1.0
         assert data["tokens_reused"] == 2
         assert data["insertions"] == 1
+
+
+def make_paged_pool(num_blocks: int = 32) -> KVBlockPool:
+    return KVBlockPool(LAYERS, HEADS, HEAD_DIM, block_size=BLOCK, num_blocks=num_blocks)
+
+
+def paged_row(pool: KVBlockPool, length: int, seed: int = 0) -> PagedKVCache:
+    """A batch-1 paged cache holding ``length`` random cached positions."""
+    cache = PagedKVCache(pool, batch=1)
+    rng = np.random.default_rng(seed)
+    shape = (1, HEADS, length, HEAD_DIM)
+    for layer in cache.layers:
+        layer.append(
+            rng.normal(size=shape).astype(np.float32),
+            rng.normal(size=shape).astype(np.float32),
+        )
+    return cache
+
+
+class TestPagedSharedBlockAccounting:
+    """Regression: the byte budget counts each shared physical block once.
+
+    Paged retention pins pool blocks by reference instead of copying; two
+    entries sharing a prompt preamble pin the *same* blocks.  Charging each
+    entry its full ``nbytes`` would double-count the shared blocks, shrink
+    the effective byte budget, and evict entries the pool actually has room
+    for — so the cache keeps per-block retention refcounts and charges a
+    block only on its first pin."""
+
+    def test_shared_blocks_charged_once(self):
+        pool = make_paged_pool()
+        row = paged_row(pool, 8)  # blocks [b0, b1] at block_size 4
+        cache = PrefixCache(max_tokens=1000)
+        assert cache.insert([1, 2, 3, 4, 5, 6, 7, 8], row.snapshot_prefix(0, 8))
+        assert cache.num_bytes == 2 * BLOCK_NBYTES
+        # The shorter entry pins only b0, which the first entry already pinned.
+        assert cache.insert([1, 2, 3, 4], row.snapshot_prefix(0, 4))
+        assert cache.num_bytes == 2 * BLOCK_NBYTES  # not 3: b0 counted once
+        row.release()
+        assert pool.blocks_in_use == 2  # retention alone keeps b0 and b1 alive
+        cache.clear()
+        assert cache.num_bytes == 0
+        assert pool.blocks_in_use == 0
+        assert np.all(pool.refcounts == 0)
+
+    def test_eviction_credits_only_the_last_pin(self):
+        pool = make_paged_pool()
+        row = paged_row(pool, 8)
+        cache = PrefixCache(max_tokens=1000)
+        cache.insert([1, 2, 3, 4, 5, 6, 7, 8], row.snapshot_prefix(0, 8))
+        cache.insert([1, 2, 3, 4], row.snapshot_prefix(0, 4))
+        row.release()
+        # LRU is the 8-token entry: evicting it frees b1 (sole pin) but b0
+        # stays charged and alive through the surviving 4-token entry.
+        assert cache.evict_lru()
+        assert cache.num_bytes == 1 * BLOCK_NBYTES
+        assert pool.blocks_in_use == 1
+        assert cache.lookup([1, 2, 3, 4], limit=3)[0] == 3  # survivor still serves
+        assert cache.evict_lru()
+        assert cache.num_bytes == 0
+        assert pool.blocks_in_use == 0
+        assert not cache.evict_lru()  # empty cache: nothing to reclaim
+
+    def test_byte_budget_sized_by_physical_blocks(self):
+        """A budget of exactly two blocks admits a sharing entry for free and
+        only evicts when genuinely new blocks are pinned."""
+        pool = make_paged_pool()
+        row = paged_row(pool, 8)
+        other = paged_row(pool, 4, seed=1)
+        cache = PrefixCache(max_tokens=1000, max_bytes=2 * BLOCK_NBYTES)
+        assert cache.insert([1, 2, 3, 4, 5, 6, 7, 8], row.snapshot_prefix(0, 8))
+        # Shares both pinned blocks: charges nothing, evicts nothing.
+        assert cache.insert([1, 2, 3, 4], row.snapshot_prefix(0, 4))
+        assert len(cache) == 2 and cache.stats.evictions == 0
+        # A disjoint entry pins a genuinely new block: now over budget, the
+        # LRU 8-token entry goes; its shared b0 stays charged via the
+        # 4-token survivor, so exactly one block's bytes are credited back.
+        assert cache.insert([9, 9, 9, 9], other.snapshot_prefix(0, 4))
+        assert cache.stats.evictions == 1
+        assert cache.num_bytes == 2 * BLOCK_NBYTES
+        assert cache.lookup([1, 2, 3, 4], limit=3)[0] == 3
+        row.release()
+        other.release()
+        cache.clear()
+        assert pool.blocks_in_use == 0
+
+    def test_rejected_insert_releases_block_pins(self):
+        """insert takes segment ownership: a rejected paged segment must not
+        leave its blocks pinned forever."""
+        pool = make_paged_pool()
+        row = paged_row(pool, 8)
+        cache = PrefixCache(max_tokens=4)  # an 8-token prompt can never fit
+        prefix = row.snapshot_prefix(0, 8)
+        assert np.all(pool.refcounts[list(prefix.block_ids)] == 2)
+        assert not cache.insert([1, 2, 3, 4, 5, 6, 7, 8], prefix)
+        assert np.all(pool.refcounts[list(prefix.block_ids)] == 1)  # unpinned
+        assert cache.num_bytes == 0
+        row.release()
+        assert pool.blocks_in_use == 0

@@ -40,13 +40,25 @@ def _prompts(pipeline, count):
     return (prompts * (count // max(len(prompts), 1) + 1))[:count]
 
 
-def _engine(pipeline, method, strategy, prefix_cache=None, **scheduler_kwargs):
+def _engine(
+    pipeline,
+    method,
+    strategy,
+    prefix_cache=None,
+    kv_memory="paged",
+    kv_block_size=16,
+    kv_pool_blocks=None,
+    **scheduler_kwargs,
+):
     return ServingEngine(
         pipeline.models[method],
         pipeline.tokenizer,
         strategy=strategy,
         scheduler_config=SchedulerConfig(**scheduler_kwargs) if scheduler_kwargs else None,
         prefix_cache=prefix_cache,
+        kv_memory=kv_memory,
+        kv_block_size=kv_block_size,
+        kv_pool_blocks=kv_pool_blocks,
     )
 
 
@@ -276,6 +288,41 @@ class TestScheduler:
         assert scheduler.num_running == 3
         assert scheduler.num_waiting == 2
 
+    def test_page_budget_defers_admission(self):
+        """The free-page gate defers requests the token budget would admit."""
+        scheduler = Scheduler(SchedulerConfig(max_active_requests=8, max_batch_tokens=10_000))
+        scheduler.submit(_state("a", prompt_len=20, max_new=20))  # footprint 40
+        scheduler.submit(_state("b", prompt_len=20, max_new=20))
+        admitted = scheduler.admit(free_page_tokens=50)
+        assert [s.request.request_id for s in admitted] == ["a"]
+        assert scheduler.num_waiting == 1
+        # The deferred head is admitted once pages free up (FCFS preserved).
+        admitted = scheduler.admit(free_page_tokens=64)
+        assert [s.request.request_id for s in admitted] == ["b"]
+
+    def test_page_overhead_charged_per_request(self):
+        """Each admission charges footprint + per-request page overhead."""
+        scheduler = Scheduler(SchedulerConfig(max_active_requests=8, max_batch_tokens=10_000))
+        for name in ("a", "b"):
+            scheduler.submit(_state(name, prompt_len=10, max_new=10))  # footprint 20
+        # Two footprints fit 40 free page tokens, but overhead 15 means the
+        # second request's 20 + 15 no longer fits the 40 - 35 = 5 left.
+        admitted = scheduler.admit(free_page_tokens=40, page_overhead_tokens=15)
+        assert [s.request.request_id for s in admitted] == ["a"]
+
+    def test_page_budget_progress_guarantee(self):
+        """An idle scheduler admits the head even over the page budget, so a
+        pool smaller than one request cannot deadlock admission."""
+        scheduler = Scheduler(SchedulerConfig(max_active_requests=4, max_batch_tokens=10_000))
+        scheduler.submit(_state("huge", prompt_len=100, max_new=100))
+        scheduler.submit(_state("next", prompt_len=1, max_new=1))
+        admitted = scheduler.admit(free_page_tokens=10)
+        assert [s.request.request_id for s in admitted] == ["huge"]
+        # ... but with the pool drained nothing squeezes in behind it.
+        assert scheduler.admit(free_page_tokens=0) == []
+        # Once pages free up again, small requests resume flowing.
+        assert [s.request.request_id for s in scheduler.admit(free_page_tokens=16)] == ["next"]
+
 
 class TestSchedulerFuzz:
     """Random admission/eviction traces must uphold the scheduler invariants.
@@ -341,6 +388,73 @@ class TestSchedulerFuzz:
     @pytest.mark.slow
     def test_random_traces_full(self):
         for_all(1500, self._run_trace, seed=42)
+
+    def _run_trace_pages(self, cases: Cases) -> None:
+        """Page-gated traces against a simulated block pool.
+
+        Models exactly what the engine does: every ``admit`` passes the
+        pool's current free pages (in tokens) plus a per-request overhead;
+        an admitted request holds ``footprint + overhead`` page tokens until
+        released.  Invariants: the pool never goes negative except for the
+        one documented progress-guarantee admission (an oversized head on an
+        idle scheduler), every page is returned by drain time (no page
+        leaks), and page exhaustion only ever *defers* — the trace still
+        drains without starvation or deadlock.
+        """
+        config = SchedulerConfig(
+            max_active_requests=cases.integer(1, 4),
+            max_batch_tokens=10_000,  # pages, not tokens, are the binding gate
+        )
+        scheduler = Scheduler(config)
+        capacity = cases.integer(20, 200)
+        overhead = cases.integer(0, 12)
+        free = capacity
+        page_cost: dict = {}
+        total = cases.integer(1, 20)
+        submitted: list = []
+        admitted: list = []
+        pending = total
+        steps = 0
+        while scheduler.has_work or pending > 0:
+            steps += 1
+            assert steps <= 20 * total + 20, "trace did not drain: page-gate deadlock"
+            action = cases.integer(0, 2)
+            if action == 0 and pending > 0:
+                state = _state(
+                    f"r{len(submitted)}",
+                    prompt_len=cases.integer(1, 60),
+                    max_new=cases.integer(1, 60),
+                )
+                submitted.append(state)
+                scheduler.submit(state)
+                pending -= 1
+            elif action == 1:
+                batch = scheduler.admit(free_page_tokens=free, page_overhead_tokens=overhead)
+                for state in batch:
+                    page_cost[state.request.request_id] = state.request.footprint_tokens + overhead
+                    free -= page_cost[state.request.request_id]
+                admitted.extend(batch)
+                if free < 0:
+                    assert scheduler.num_running == 1, (
+                        f"pool overdrawn ({free}) with {scheduler.num_running} running: "
+                        f"only the idle-scheduler progress guarantee may overshoot"
+                    )
+            elif scheduler.running:
+                victim = cases.choice(scheduler.running)
+                scheduler.release(victim)
+                free += page_cost.pop(victim.request.request_id)
+
+        assert pending == 0 and not scheduler.has_work
+        assert free == capacity, f"page leak: {capacity - free} page tokens never returned"
+        assert [s.request.request_id for s in admitted] == [s.request.request_id for s in submitted]
+        assert all(state.status is RequestStatus.FINISHED for state in submitted)
+
+    def test_page_gated_traces_quick(self):
+        for_all(num_cases(50, 50), self._run_trace_pages, seed=47)
+
+    @pytest.mark.slow
+    def test_page_gated_traces_full(self):
+        for_all(1500, self._run_trace_pages, seed=48)
 
 
 class TestServingStats:
@@ -695,3 +809,227 @@ class TestPrefillTiming:
             result = results[request_id]
             assert result.prefill_seconds > 0.0
             assert result.wall_time_seconds >= result.prefill_seconds
+
+
+def _mixed_configs(count):
+    """Greedy / sampling / tree-verify configs interleaved."""
+    configs = []
+    for index in range(count):
+        if index % 3 == 0:
+            configs.append(GenerationConfig.greedy_config(14, tree_verify=(index % 2 == 0)))
+        else:
+            configs.append(
+                GenerationConfig.sampling_config(0.8, 12, seed=index, tree_verify=(index % 2 == 0))
+            )
+    return configs
+
+
+class TestPagedKVMemory:
+    """The paged block pool: token identity with the row oracle, zero-copy
+    prefix hits, uniform stats, strictly lower peak memory, and no page
+    leaks across completion and cancellation."""
+
+    @pytest.mark.parametrize("method,strategy", METHODS)
+    def test_row_oracle_matches_paged_default(self, tiny_pipeline, method, strategy):
+        """kv_memory='row' and the paged default commit identical tokens
+        under mixed greedy/sampling/tree configs, chunked prefill and prefix
+        reuse — the tests' strongest cross-mode identity statement."""
+        prompts = _shared_prefix_prompts(tiny_pipeline, 6)
+        configs = _mixed_configs(len(prompts))
+
+        outputs = {}
+        for kv_memory in ("row", "paged"):
+            engine = _engine(
+                tiny_pipeline, method, strategy,
+                kv_memory=kv_memory,
+                prefix_cache=PrefixCache(max_tokens=4096),
+                max_active_requests=3, max_prefill_tokens_per_step=7,
+            )
+            request_ids = [engine.submit_text(p, c) for p, c in zip(prompts, configs)]
+            results = engine.run()
+            outputs[kv_memory] = [results[request_id].token_ids for request_id in request_ids]
+        assert outputs["paged"] == outputs["row"]
+
+    def test_prefix_hits_are_zero_copy(self, tiny_pipeline):
+        """Paged prefix hits alias pool pages: the engine's copy counter
+        stays 0 while the row engine copies every reused position."""
+        prompts = _shared_prefix_prompts(tiny_pipeline, 4) * 2
+        config = GenerationConfig.greedy_config(8)
+        counters = {}
+        for kv_memory in ("paged", "row"):
+            engine = _engine(
+                tiny_pipeline, "ours", DecodingStrategy.OURS,
+                kv_memory=kv_memory,
+                prefix_cache=PrefixCache(max_tokens=4096), max_active_requests=2,
+            )
+            for prompt in prompts:
+                engine.submit_text(prompt, config)
+            engine.run()
+            assert engine.prefix_cache_stats()["hits"] > 0
+            counters[kv_memory] = engine.kv_pool_stats()["prefix_copy_tokens"]
+        assert counters["paged"] == 0
+        assert counters["row"] > 0
+
+    def test_kv_pool_stats_uniform_keys(self, tiny_pipeline):
+        """Both memory modes report the same stat keys, so ThroughputReport
+        rows and dashboards need no per-mode branching."""
+        config = GenerationConfig.greedy_config(4)
+        stats = {}
+        for kv_memory in ("paged", "row"):
+            engine = _engine(tiny_pipeline, "ours", DecodingStrategy.OURS, kv_memory=kv_memory)
+            engine.submit_text("module m (input clk);", config)
+            engine.run()
+            stats[kv_memory] = engine.kv_pool_stats()
+        assert set(stats["paged"]) == set(stats["row"])
+        assert stats["paged"]["kv_memory"] == "paged"
+        assert stats["row"]["kv_memory"] == "row"
+        assert stats["paged"]["peak_kv_bytes"] > 0
+        assert stats["row"]["peak_kv_bytes"] > 0
+        assert stats["paged"]["blocks_in_use"] == 0  # everything released at drain
+
+    def test_paged_peak_kv_bytes_lower_on_shared_prefixes(self, tiny_pipeline):
+        """The headline memory claim, at test scale: paged peak K/V bytes
+        are strictly below the row engine's reserved-buffer peak on a
+        shared-prefix workload (the bench asserts the same at bench scale)."""
+        prompts = _shared_prefix_prompts(tiny_pipeline, 4) * 2
+        config = GenerationConfig.greedy_config(8)
+        peaks = {}
+        for kv_memory in ("paged", "row"):
+            engine = _engine(
+                tiny_pipeline, "ours", DecodingStrategy.OURS,
+                kv_memory=kv_memory,
+                prefix_cache=PrefixCache(max_tokens=4096), max_active_requests=4,
+            )
+            for prompt in prompts:
+                engine.submit_text(prompt, config)
+            engine.run()
+            peaks[kv_memory] = engine.kv_pool_stats()["peak_kv_bytes"]
+        assert 0 < peaks["paged"] < peaks["row"]
+
+    def test_pool_drains_after_run(self, tiny_pipeline):
+        """No page leaks: after a run every block reference is back at zero
+        (prefix-cache retention pins pages only until clear())."""
+        config = GenerationConfig.greedy_config(6)
+        engine = _engine(tiny_pipeline, "ours", DecodingStrategy.OURS, max_active_requests=3)
+        for prompt in _prompts(tiny_pipeline, 5):
+            engine.submit_text(prompt, config)
+        engine.run()
+        assert engine._pool.blocks_in_use == 0
+        assert np.all(engine._pool.refcounts == 0)
+
+        cache = PrefixCache(max_tokens=4096)
+        engine = _engine(
+            tiny_pipeline, "ours", DecodingStrategy.OURS,
+            prefix_cache=cache, max_active_requests=3,
+        )
+        for prompt in _shared_prefix_prompts(tiny_pipeline, 5):
+            engine.submit_text(prompt, config)
+        engine.run()
+        assert engine._pool.blocks_in_use > 0  # retention legitimately pins pages
+        cache.clear()
+        assert engine._pool.blocks_in_use == 0
+        assert np.all(engine._pool.refcounts == 0)
+
+    def test_cancel_frees_pages(self, tiny_pipeline):
+        """Cancelling an in-flight request releases its pages immediately."""
+        engine = _engine(tiny_pipeline, "ours", DecodingStrategy.OURS, max_active_requests=2)
+        victim = engine.submit_text(
+            "module cancel_me (input clk, input rst);", GenerationConfig.greedy_config(200)
+        )
+        survivor = engine.submit_text("module keeper;", GenerationConfig.greedy_config(6))
+        for _ in range(3):
+            engine.step()
+        held_before = engine._pool.blocks_in_use
+        assert held_before > 0
+        assert engine.cancel(victim)
+        assert engine._pool.blocks_in_use < held_before
+        engine.run()
+        assert engine.result(victim).cancelled
+        assert engine.result(survivor).tokens_generated > 0
+        assert engine._pool.blocks_in_use == 0
+
+    def test_tiny_pool_defers_admission_without_deadlock(self, tiny_pipeline):
+        """A pool barely bigger than one request's worst case forces the
+        page gate to serialise admission; every request still finishes with
+        the tokens the sequential decoder commits."""
+        prompts = _prompts(tiny_pipeline, 5)
+        config = GenerationConfig.greedy_config(8)
+        decoder = tiny_pipeline.decoder_for("ours")
+        sequential = [decoder.generate_from_text(prompt, config) for prompt in prompts]
+
+        engine = _engine(
+            tiny_pipeline, "ours", DecodingStrategy.OURS,
+            kv_block_size=16, max_active_requests=8,
+        )
+        # One request's worst case: its clamped footprint plus the engine's
+        # per-request page overhead, in blocks — plus two blocks of slack.
+        overhead_tokens = engine._admission_kwargs()["page_overhead_tokens"]
+        ids = [tiny_pipeline.tokenizer.encode(p, add_bos=True) for p in prompts]
+        worst = max(len(i) for i in ids) + 8 + overhead_tokens
+        engine = _engine(
+            tiny_pipeline, "ours", DecodingStrategy.OURS,
+            kv_block_size=16, kv_pool_blocks=-(-worst // 16) + 2, max_active_requests=8,
+        )
+        request_ids = [engine.submit(i, config) for i in ids]
+        max_running = 0
+        for _ in range(10_000):
+            if not engine.has_work:
+                break
+            engine.step()
+            max_running = max(max_running, engine.scheduler.num_running)
+        assert not engine.has_work, "tiny pool deadlocked admission"
+        assert max_running < len(prompts), "page gate never deferred anything"
+        for request_id, expected in zip(request_ids, sequential):
+            assert engine.result(request_id).token_ids == expected.token_ids
+        assert engine._pool.blocks_in_use == 0
+
+
+class TestPagedEngineChurnFuzz:
+    """Random submit/step/cancel churn against a deliberately small pool.
+
+    The paged invariants under adversarial scheduling: the engine always
+    drains (page exhaustion defers, never deadlocks), and every pool block
+    reference returns to zero afterwards (no leaks through cancellation,
+    retention, or mid-flight eviction)."""
+
+    def _run_trace(self, cases: Cases, pipeline) -> None:
+        prompts = _prompts(pipeline, 6)
+        use_cache = cases.boolean()
+        cache = PrefixCache(max_tokens=cases.integer(40, 512)) if use_cache else None
+        probe = _engine(pipeline, "ours", DecodingStrategy.OURS, prefix_cache=cache)
+        overhead_tokens = probe._admission_kwargs()["page_overhead_tokens"]
+        ids = [pipeline.tokenizer.encode(p, add_bos=True) for p in prompts]
+        worst = max(len(i) for i in ids) + 8 + overhead_tokens
+        pool_blocks = -(-worst // 16) + cases.integer(2, 12)
+        engine = _engine(
+            pipeline, "ours", DecodingStrategy.OURS,
+            prefix_cache=cache,
+            kv_block_size=16, kv_pool_blocks=pool_blocks,
+            max_active_requests=cases.integer(1, 4),
+        )
+        pending = list(range(cases.integer(2, 5)))
+        submitted: list = []
+        for _ in range(4000):
+            if not pending and not engine.has_work:
+                break
+            action = cases.integer(0, 5)
+            if action == 0 and pending:
+                index = pending.pop()
+                config = GenerationConfig.greedy_config(
+                    cases.integer(1, 8), tree_verify=cases.boolean()
+                )
+                submitted.append(engine.submit(ids[index % len(ids)], config))
+            elif action == 1 and submitted and cases.boolean(0.3):
+                engine.cancel(cases.choice(submitted))
+            elif engine.has_work:
+                engine.step()
+        assert not pending and not engine.has_work, "churn trace did not drain"
+        for request_id in submitted:
+            engine.result(request_id)  # every request produced a result
+        if cache is not None:
+            cache.clear()
+        assert engine._pool.blocks_in_use == 0, "leaked pool blocks"
+        assert np.all(engine._pool.refcounts == 0)
+
+    def test_churn_traces(self, tiny_pipeline):
+        for_all(num_cases(6, 12), lambda cases: self._run_trace(cases, tiny_pipeline), seed=51)
