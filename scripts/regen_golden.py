@@ -1,21 +1,29 @@
 #!/usr/bin/env python
-"""Regenerate the golden-token regression fixtures under ``tests/golden/``.
+"""Regenerate the golden regression fixtures under ``tests/golden/``.
 
-The goldens pin exact prompt -> output token sequences for all three decoding
-methods (Ours / Medusa / NTP) under greedy decoding and seeded sampling, so a
-decoding refactor that silently changes committed tokens fails loudly in
-``tests/test_golden.py`` instead of drifting.
+Two fixture families are maintained here:
+
+* **Token goldens** (``ours/medusa/ntp.json``) pin exact prompt -> output
+  token sequences for all three decoding methods under greedy decoding and
+  seeded sampling, so a decoding refactor that silently changes committed
+  tokens fails loudly in ``tests/test_golden.py`` instead of drifting.
+* **Simulation goldens** (``sim_reference_designs.json``) freeze the
+  interpreter's observable outcome (result fields, ``$display`` lines, final
+  signal state) for every reference design + testbench; both simulation
+  backends must reproduce them in ``tests/test_sim_golden.py``.
 
 The pipeline is built from the same canonical configuration the test fixture
 uses (``tests/conftest.py::tiny_pipeline_config``); run this script — and
 commit the diff — only when an intentional behaviour change invalidates the
 fixtures:
 
-    PYTHONPATH=src python scripts/regen_golden.py
+    PYTHONPATH=src python scripts/regen_golden.py            # everything
+    PYTHONPATH=src python scripts/regen_golden.py --only sim # simulation only
 """
 
 from __future__ import annotations
 
+import argparse
 import json
 import sys
 from pathlib import Path
@@ -25,6 +33,7 @@ sys.path.insert(0, str(REPO / "src"))
 sys.path.insert(0, str(REPO / "tests"))
 
 from conftest import tiny_pipeline_config  # noqa: E402 (tests/ on path)
+from test_sim_golden import capture_sim_case, golden_problems  # noqa: E402
 
 from repro.core.pipeline import VerilogSpecPipeline  # noqa: E402
 from repro.models.generation import GenerationConfig  # noqa: E402
@@ -52,7 +61,26 @@ def config_to_dict(config: GenerationConfig) -> dict:
     }
 
 
-def main() -> int:
+def regen_sim_goldens() -> None:
+    """Freeze interpreter runs of every reference design + testbench."""
+    GOLDEN_DIR.mkdir(exist_ok=True)
+    cases = [
+        capture_sim_case(name, problem.reference, problem.testbench, backend="interpreter")
+        for name, problem in golden_problems()
+    ]
+    fixture = {
+        "description": (
+            "Interpreter-backend simulation outcomes for every reference design; "
+            "both backends must reproduce these (tests/test_sim_golden.py)."
+        ),
+        "cases": cases,
+    }
+    path = GOLDEN_DIR / "sim_reference_designs.json"
+    path.write_text(json.dumps(fixture, indent=2) + "\n")
+    print(f"wrote {path.relative_to(REPO)}: {len(cases)} reference simulations")
+
+
+def regen_token_goldens() -> None:
     pipeline = VerilogSpecPipeline(tiny_pipeline_config())
     pipeline.prepare()
     pipeline.train_all()
@@ -75,6 +103,21 @@ def main() -> int:
         path.write_text(json.dumps(fixture, indent=2) + "\n")
         total = sum(len(ids) for case in cases for ids in case["outputs"])
         print(f"wrote {path.relative_to(REPO)}: {len(cases)} configs x {len(prompts)} prompts, {total} tokens")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--only",
+        choices=("tokens", "sim", "all"),
+        default="all",
+        help="which fixture family to regenerate (default: all)",
+    )
+    args = parser.parse_args()
+    if args.only in ("tokens", "all"):
+        regen_token_goldens()
+    if args.only in ("sim", "all"):
+        regen_sim_goldens()
     return 0
 
 

@@ -12,7 +12,7 @@ from repro.evalbench.rtllm import rtllm_suite
 from repro.evalbench.vgen import vgen_suite
 from repro.evalbench.passk import pass_at_k, pass_at_k_from_counts, pass_rate
 from repro.evalbench.syntax_eval import check_design_compiles
-from repro.evalbench.functional import check_design_functional
+from repro.evalbench.functional import check_design_functional, check_designs_functional
 from repro.evalbench.speed import (
     CacheComparison,
     SpeedReport,
@@ -42,6 +42,7 @@ __all__ = [
     "pass_rate",
     "check_design_compiles",
     "check_design_functional",
+    "check_designs_functional",
     "CacheComparison",
     "SpeedReport",
     "TreeComparison",

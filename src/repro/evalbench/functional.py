@@ -10,10 +10,10 @@ reduces to running the simulation and inspecting its output.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List
+from typing import List, Sequence
 
 from repro.evalbench.problems import Problem
-from repro.sim.testbench import run_testbench
+from repro.sim.testbench import DEFAULT_BACKEND, run_testbench, run_testbench_batch
 
 
 @dataclass
@@ -26,12 +26,36 @@ class FunctionalEvalResult:
     errors: List[str] = field(default_factory=list)
 
 
-def check_design_functional(design: str, problem: Problem, max_time: int = 100_000) -> FunctionalEvalResult:
+def check_design_functional(
+    design: str, problem: Problem, max_time: int = 100_000, backend: str = DEFAULT_BACKEND
+) -> FunctionalEvalResult:
     """Simulate ``design`` against ``problem``'s testbench and grade the output."""
-    result = run_testbench(design, problem.testbench, max_time=max_time)
+    result = run_testbench(design, problem.testbench, max_time=max_time, backend=backend)
     return FunctionalEvalResult(
         compiled=result.compiled,
         passed=result.passed,
         output=result.output,
         errors=result.errors,
     )
+
+
+def check_designs_functional(
+    designs: Sequence[str], problem: Problem, max_time: int = 100_000, backend: str = DEFAULT_BACKEND
+) -> List[FunctionalEvalResult]:
+    """Grade many candidate designs against one problem's testbench.
+
+    The compiled backend batches eligible candidates into a single vectorized
+    sweep (:func:`repro.sim.testbench.run_testbench_batch`), which is the main
+    lever for grading large sample sets quickly; results are identical to
+    per-design :func:`check_design_functional` calls.
+    """
+    results = run_testbench_batch(list(designs), problem.testbench, max_time=max_time, backend=backend)
+    return [
+        FunctionalEvalResult(
+            compiled=result.compiled,
+            passed=result.passed,
+            output=result.output,
+            errors=result.errors,
+        )
+        for result in results
+    ]

@@ -12,11 +12,12 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from repro.core.decoding import SpeculativeDecoder
-from repro.evalbench.functional import check_design_functional
+from repro.evalbench.functional import check_designs_functional
 from repro.evalbench.passk import pass_at_k, pass_rate
 from repro.evalbench.problems import Problem, ProblemSuite
 from repro.evalbench.syntax_eval import check_design_compiles
 from repro.models.generation import GenerationConfig
+from repro.sim.testbench import BACKENDS, DEFAULT_BACKEND
 
 
 @dataclass
@@ -65,12 +66,16 @@ class EvaluationRunner:
         temperatures: Sequence[float] = (0.2, 0.4, 0.6, 0.8),
         max_new_tokens: int = 160,
         k_values: Sequence[int] = (1, 5, 10),
+        sim_backend: str = DEFAULT_BACKEND,
     ) -> None:
+        if sim_backend not in BACKENDS:
+            raise ValueError(f"unknown simulation backend {sim_backend!r} (choose from {sorted(BACKENDS)})")
         self.decoder = decoder
         self.samples_per_prompt = samples_per_prompt
         self.temperatures = list(temperatures)
         self.max_new_tokens = max_new_tokens
         self.k_values = list(k_values)
+        self.sim_backend = sim_backend
 
     def generate_samples(self, problem: Problem) -> List[str]:
         """Generate ``samples_per_prompt`` candidate designs for ``problem``."""
@@ -93,11 +98,12 @@ class EvaluationRunner:
         for design in samples:
             syntax = check_design_compiles(design, problem.testbench)
             evaluation.syntax_flags.append(syntax.compiles)
-            if syntax.compiles:
-                functional = check_design_functional(design, problem)
-                evaluation.functional_flags.append(functional.passed)
-            else:
-                evaluation.functional_flags.append(False)
+        # Grade all compiling samples in one call: with the compiled backend
+        # they share a single vectorized sweep of the problem's testbench.
+        compiling = [design for design, ok in zip(samples, evaluation.syntax_flags) if ok]
+        graded = iter(check_designs_functional(compiling, problem, backend=self.sim_backend))
+        for ok in evaluation.syntax_flags:
+            evaluation.functional_flags.append(next(graded).passed if ok else False)
         return evaluation
 
     def evaluate_suite(self, suite: ProblemSuite, label: str = "", problems: Optional[Sequence[Problem]] = None) -> QualityReport:

@@ -8,22 +8,44 @@ benchmark testbenches.  It provides:
 * :mod:`repro.sim.expr` — expression evaluation over those values,
 * :mod:`repro.sim.simulator` — elaboration plus an event-driven kernel that
   executes ``initial``/``always`` processes, continuous assignments, delays and
-  edge-sensitive waits, and
+  edge-sensitive waits,
+* :mod:`repro.sim.compiled` — a compiled backend that lowers the elaborated
+  design to slotted state with dirty bitsets and per-process closures, plus a
+  vectorized batch mode sweeping many candidates over one testbench,
+* :mod:`repro.sim.rng` — the shared deterministic ``$random`` stream, and
 * :mod:`repro.sim.testbench` — a convenience runner that simulates a design
-  together with a testbench and captures ``$display`` output.
+  together with a testbench (``backend="interpreter"|"compiled"``) and
+  captures ``$display`` output.
+
+See ``docs/simulation.md`` for the pipeline and the oracle-testing policy.
 """
 
 from repro.sim.values import FourState, X_CHAR, Z_CHAR
+from repro.sim.rng import VerilogRng
 from repro.sim.simulator import Simulator, SimulationError, SimulationResult
-from repro.sim.testbench import TestbenchResult, run_testbench
+from repro.sim.compiled import BatchReport, CompiledSimulator, simulate_batch
+from repro.sim.testbench import (
+    BACKENDS,
+    DEFAULT_BACKEND,
+    TestbenchResult,
+    run_testbench,
+    run_testbench_batch,
+)
 
 __all__ = [
     "FourState",
     "X_CHAR",
     "Z_CHAR",
+    "VerilogRng",
     "Simulator",
     "SimulationError",
     "SimulationResult",
+    "CompiledSimulator",
+    "BatchReport",
+    "simulate_batch",
+    "BACKENDS",
+    "DEFAULT_BACKEND",
     "TestbenchResult",
     "run_testbench",
+    "run_testbench_batch",
 ]

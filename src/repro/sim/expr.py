@@ -4,10 +4,17 @@ The evaluator maps the parser's expression AST onto :class:`FourState`
 operations.  It is used by the simulator for every right-hand side, condition,
 delay and index expression, and also at elaboration time for parameter and
 range expressions (where everything must be fully known).
+
+The operator semantics live in the module-level ``apply_*`` functions so that
+the compiled backend (:mod:`repro.sim.compiled`) can bind them directly into
+closures: both backends execute the exact same four-state operator code,
+which is what makes the cycle-identity guarantee structural rather than a
+matter of keeping two implementations in sync.
 """
 
 from __future__ import annotations
 
+import operator
 from typing import Callable, Dict, List, Optional, Protocol
 
 from repro.verilog import ast_nodes as ast
@@ -71,6 +78,142 @@ def _reduce(op: str, value: FourState) -> FourState:
     return FourState.from_int(result, width=1)
 
 
+# --------------------------------------------------------------------------- #
+# Shared operator semantics (used by both the interpreter and the compiler)
+# --------------------------------------------------------------------------- #
+
+#: Comparison operators resolved once; ``apply_compare`` looks the callable up
+#: per call, the compiled backend captures it at compile time.
+COMPARE_OPS: Dict[str, Callable[[int, int], bool]] = {
+    "==": operator.eq,
+    "!=": operator.ne,
+    "<": operator.lt,
+    ">": operator.gt,
+    "<=": operator.le,
+    ">=": operator.ge,
+}
+
+
+def apply_unary(op: str, operand: FourState) -> FourState:
+    """Apply a unary operator (including reductions) to an evaluated operand."""
+    if op == "+":
+        return operand
+    if op == "-":
+        if not operand.is_fully_known:
+            return FourState.unknown_value(operand.width)
+        return FourState.from_int(-operand.to_int(), width=max(operand.width, 32), signed=True)
+    if op == "!":
+        truth = operand.is_true()
+        if truth is None:
+            return FourState.unknown_value(1)
+        return FourState.from_int(int(not truth), width=1)
+    if op == "~":
+        mask = (1 << operand.width) - 1
+        return FourState(operand.width, ~operand.value & mask, operand.unknown, operand.zmask)
+    return _reduce(op, operand)
+
+
+def apply_logical(op: str, left: FourState, right: FourState) -> FourState:
+    """``&&`` / ``||`` with three-valued truth."""
+    lt, rt = left.is_true(), right.is_true()
+    if op == "&&":
+        if lt is False or rt is False:
+            return FourState.from_int(0, width=1)
+        if lt is None or rt is None:
+            return FourState.unknown_value(1)
+        return FourState.from_int(1, width=1)
+    if lt is True or rt is True:
+        return FourState.from_int(1, width=1)
+    if lt is None or rt is None:
+        return FourState.unknown_value(1)
+    return FourState.from_int(0, width=1)
+
+
+def apply_case_equality(op: str, left: FourState, right: FourState) -> FourState:
+    """``===`` / ``!==``: bit-exact comparison including X/Z bits."""
+    equal = (
+        left.to_bit_string().rjust(max(left.width, right.width), "0")
+        == right.to_bit_string().rjust(max(left.width, right.width), "0")
+    )
+    return FourState.from_int(int(equal if op == "===" else not equal), width=1)
+
+
+def apply_compare(compare: Callable[[int, int], bool], left: FourState, right: FourState) -> FourState:
+    """Relational/equality comparison; unknown inputs compare to X."""
+    if not left.is_fully_known or not right.is_fully_known:
+        return FourState.unknown_value(1)
+    signed = left.signed and right.signed
+    a = left.to_signed_int() if signed else left.value
+    b = right.to_signed_int() if signed else right.value
+    return FourState.from_int(int(compare(a, b)), width=1)
+
+
+def apply_shift(op: str, left: FourState, right: FourState) -> FourState:
+    """``<<``/``>>``/``<<<``/``>>>`` with X shift amounts producing X."""
+    if not right.is_fully_known:
+        return FourState.unknown_value(left.width)
+    shift = right.value
+    if op == "<<" or op == "<<<":
+        return FourState(left.width, (left.value << shift), (left.unknown << shift), (left.zmask << shift), left.signed)
+    if op == ">>>" and left.signed:
+        value = left.to_signed_int() >> shift
+        return FourState.from_int(value, width=left.width, signed=True)
+    return FourState(left.width, left.value >> shift, left.unknown >> shift, left.zmask >> shift, left.signed)
+
+
+def apply_bitwise(op: str, left: FourState, right: FourState) -> FourState:
+    """Bitwise ``&``/``|``/``^``/``~^`` with per-bit X propagation."""
+    width = max(left.width, right.width)
+    a = left.resize(width)
+    b = right.resize(width)
+    if op == "&":
+        value = a.value & b.value
+        unknown = (a.unknown | b.unknown) & ~((~a.value & ~a.unknown) | (~b.value & ~b.unknown) & ((1 << width) - 1))
+        unknown &= (1 << width) - 1
+        # A known-0 bit forces the result bit to known 0.
+        known_zero = ((~a.value & ~a.unknown) | (~b.value & ~b.unknown)) & ((1 << width) - 1)
+        unknown &= ~known_zero
+    elif op == "|":
+        value = a.value | b.value
+        known_one = (a.value & ~a.unknown) | (b.value & ~b.unknown)
+        unknown = (a.unknown | b.unknown) & ~known_one
+    else:
+        value = a.value ^ b.value
+        unknown = a.unknown | b.unknown
+        if op in ("~^", "^~"):
+            value = ~value & ((1 << width) - 1)
+    return FourState(width, value & ~unknown, unknown)
+
+
+def apply_arith(op: str, left: FourState, right: FourState, ctx: Optional[int]) -> FourState:
+    """Arithmetic with context-width extension and X propagation."""
+    width = max(left.width, right.width)
+    if not left.is_fully_known or not right.is_fully_known:
+        out_width = max(width, ctx or 0)
+        return FourState.unknown_value(out_width if out_width > 0 else width)
+    signed = left.signed and right.signed
+    a = left.to_signed_int() if signed else left.value
+    b = right.to_signed_int() if signed else right.value
+    raw = _binary_arith(op, a, b)
+    out_width = max(width, ctx or 0, 1)
+    return FourState.from_int(raw, width=out_width, signed=signed)
+
+
+def apply_binary(op: str, left: FourState, right: FourState, ctx: Optional[int]) -> FourState:
+    """Dispatch a binary operator to its ``apply_*`` semantics function."""
+    if op in ("&&", "||"):
+        return apply_logical(op, left, right)
+    if op in ("===", "!=="):
+        return apply_case_equality(op, left, right)
+    if op in COMPARE_OPS:
+        return apply_compare(COMPARE_OPS[op], left, right)
+    if op in ("<<", ">>", "<<<", ">>>"):
+        return apply_shift(op, left, right)
+    if op in ("&", "|", "^", "~^", "^~"):
+        return apply_bitwise(op, left, right)
+    return apply_arith(op, left, right, ctx)
+
+
 class ExpressionEvaluator:
     """Evaluates parser expressions against a :class:`Scope`."""
 
@@ -122,109 +265,12 @@ class ExpressionEvaluator:
         return FourState.from_int(value, width=width)
 
     def _eval_unary(self, expr: ast.UnaryOp, ctx: Optional[int]) -> FourState:
-        operand = self.evaluate(expr.operand, ctx)
-        op = expr.op
-        if op == "+":
-            return operand
-        if op == "-":
-            if not operand.is_fully_known:
-                return FourState.unknown_value(operand.width)
-            return FourState.from_int(-operand.to_int(), width=max(operand.width, 32), signed=True)
-        if op == "!":
-            truth = operand.is_true()
-            if truth is None:
-                return FourState.unknown_value(1)
-            return FourState.from_int(int(not truth), width=1)
-        if op == "~":
-            mask = (1 << operand.width) - 1
-            return FourState(operand.width, ~operand.value & mask, operand.unknown, operand.zmask)
-        return _reduce(op, operand)
+        return apply_unary(expr.op, self.evaluate(expr.operand, ctx))
 
     def _eval_binary(self, expr: ast.BinaryOp, ctx: Optional[int]) -> FourState:
-        op = expr.op
         left = self.evaluate(expr.left, ctx)
         right = self.evaluate(expr.right, ctx)
-
-        if op in ("&&", "||"):
-            lt, rt = left.is_true(), right.is_true()
-            if op == "&&":
-                if lt is False or rt is False:
-                    return FourState.from_int(0, width=1)
-                if lt is None or rt is None:
-                    return FourState.unknown_value(1)
-                return FourState.from_int(1, width=1)
-            if lt is True or rt is True:
-                return FourState.from_int(1, width=1)
-            if lt is None or rt is None:
-                return FourState.unknown_value(1)
-            return FourState.from_int(0, width=1)
-
-        if op in ("===", "!=="):
-            equal = (
-                left.to_bit_string().rjust(max(left.width, right.width), "0")
-                == right.to_bit_string().rjust(max(left.width, right.width), "0")
-            )
-            return FourState.from_int(int(equal if op == "===" else not equal), width=1)
-
-        if op in ("==", "!=", "<", ">", "<=", ">="):
-            if not left.is_fully_known or not right.is_fully_known:
-                return FourState.unknown_value(1)
-            signed = left.signed and right.signed
-            a = left.to_signed_int() if signed else left.value
-            b = right.to_signed_int() if signed else right.value
-            result = {
-                "==": a == b,
-                "!=": a != b,
-                "<": a < b,
-                ">": a > b,
-                "<=": a <= b,
-                ">=": a >= b,
-            }[op]
-            return FourState.from_int(int(result), width=1)
-
-        if op in ("<<", ">>", "<<<", ">>>"):
-            if not right.is_fully_known:
-                return FourState.unknown_value(left.width)
-            shift = right.value
-            if op == "<<" or op == "<<<":
-                return FourState(left.width, (left.value << shift), (left.unknown << shift), (left.zmask << shift), left.signed)
-            if op == ">>>" and left.signed:
-                value = left.to_signed_int() >> shift
-                return FourState.from_int(value, width=left.width, signed=True)
-            return FourState(left.width, left.value >> shift, left.unknown >> shift, left.zmask >> shift, left.signed)
-
-        width = max(left.width, right.width)
-        if op in ("&", "|", "^", "~^", "^~"):
-            a = left.resize(width)
-            b = right.resize(width)
-            if op == "&":
-                value = a.value & b.value
-                unknown = (a.unknown | b.unknown) & ~((~a.value & ~a.unknown) | (~b.value & ~b.unknown) & ((1 << width) - 1))
-                unknown &= (1 << width) - 1
-                # A known-0 bit forces the result bit to known 0.
-                known_zero = ((~a.value & ~a.unknown) | (~b.value & ~b.unknown)) & ((1 << width) - 1)
-                unknown &= ~known_zero
-            elif op == "|":
-                value = a.value | b.value
-                known_one = (a.value & ~a.unknown) | (b.value & ~b.unknown)
-                unknown = (a.unknown | b.unknown) & ~known_one
-            else:
-                value = a.value ^ b.value
-                unknown = a.unknown | b.unknown
-                if op in ("~^", "^~"):
-                    value = ~value & ((1 << width) - 1)
-            return FourState(width, value & ~unknown, unknown)
-
-        # Arithmetic.
-        if not left.is_fully_known or not right.is_fully_known:
-            out_width = max(width, ctx or 0)
-            return FourState.unknown_value(out_width if out_width > 0 else width)
-        signed = left.signed and right.signed
-        a = left.to_signed_int() if signed else left.value
-        b = right.to_signed_int() if signed else right.value
-        raw = _binary_arith(op, a, b)
-        out_width = max(width, ctx or 0, 1)
-        return FourState.from_int(raw, width=out_width, signed=signed)
+        return apply_binary(expr.op, left, right, ctx)
 
     def _eval_conditional(self, expr: ast.Conditional, ctx: Optional[int]) -> FourState:
         condition = self.evaluate(expr.condition)

@@ -1,0 +1,47 @@
+"""The shared ``$random`` stream.
+
+Both simulation backends must draw ``$random``/``$urandom`` values from the
+same deterministic stream, otherwise a differential run (interpreter vs.
+compiled) could diverge on *stimulus* rather than on semantics and the
+cycle-identity harness would chase phantom bugs.  The stream is therefore a
+small injectable object owned by the testbench runner
+(:func:`repro.sim.testbench.run_testbench` creates one per simulation with a
+pinned seed) rather than private simulator state: every backend asked to
+simulate the same sources with the same seed sees the same draw sequence.
+
+The generator is the classic glibc-style LCG the seed interpreter used
+(``state = (1103515245 * state + 12345) mod 2^31``), so pinned sequences are
+stable across refactors; ``tests/test_sim_differential.py`` asserts the exact
+first draws.
+"""
+
+from __future__ import annotations
+
+
+class VerilogRng:
+    """Deterministic LCG behind ``$random``/``$urandom``.
+
+    One instance is one stream: passing the same instance to several
+    simulators makes them share (and interleave) draws, while giving each
+    backend its own instance with the same seed makes their streams identical
+    — the property differential testing relies on.
+    """
+
+    __slots__ = ("state",)
+
+    #: Seed used when none is supplied, matching the seed-era default.
+    DEFAULT_SEED = 12345
+
+    def __init__(self, seed: int = DEFAULT_SEED) -> None:
+        self.state = seed & 0xFFFFFFFF
+
+    def next_value(self) -> int:
+        """Advance the stream and return the next 31-bit draw."""
+        self.state = (1103515245 * self.state + 12345) & 0x7FFFFFFF
+        return self.state
+
+    def clone(self) -> "VerilogRng":
+        """An independent stream continuing from the current state."""
+        copy = VerilogRng.__new__(VerilogRng)
+        copy.state = self.state
+        return copy

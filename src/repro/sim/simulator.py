@@ -21,6 +21,7 @@ from typing import Dict, Generator, List, Optional, Sequence, Tuple
 from repro.verilog import ast_nodes as ast
 from repro.verilog.parser import parse_source, _LocalDeclaration
 from repro.sim.expr import EvaluationError, ExpressionEvaluator
+from repro.sim.rng import VerilogRng
 from repro.sim.values import FourState
 
 
@@ -168,7 +169,8 @@ class Simulator:
         top: Optional[str] = None,
         max_time: int = DEFAULT_MAX_TIME,
         max_events: int = DEFAULT_MAX_EVENTS,
-        random_seed: int = 12345,
+        random_seed: int = VerilogRng.DEFAULT_SEED,
+        rng: Optional[VerilogRng] = None,
     ) -> None:
         self.source_file = parse_source(source)
         self.modules: Dict[str, ast.ModuleDef] = {m.name: m for m in self.source_file.modules}
@@ -191,7 +193,9 @@ class Simulator:
         self._nba_queue: List[Tuple[_InstanceScope, ast.Expression, FourState]] = []
         self._changed_signals: Dict[str, Tuple[FourState, FourState]] = {}
         self._monitors: List[Tuple[_InstanceScope, List[ast.Expression]]] = []
-        self._random_state = random_seed & 0xFFFFFFFF
+        #: The ``$random`` stream; injectable so a testbench runner can hand
+        #: identically-seeded streams to both backends of a differential run.
+        self.rng = rng if rng is not None else VerilogRng(random_seed)
 
         self._elaborate()
 
@@ -452,6 +456,20 @@ class Simulator:
             return self.signals[name].value
         raise EvaluationError(f"unknown hierarchical signal {name!r}")
 
+    def final_state(self) -> Dict[str, object]:
+        """Every flat signal's value as bit strings (arrays as index maps).
+
+        The canonical shape the differential and golden harnesses compare
+        across backends, and what the golden sim fixtures freeze to JSON.
+        """
+        state: Dict[str, object] = {}
+        for name, signal in self.signals.items():
+            if signal.is_array:
+                state[name] = {str(index): value.to_bit_string() for index, value in sorted(signal.array.items())}
+            else:
+                state[name] = signal.value.to_bit_string()
+        return state
+
     def _set_signal(self, signal: Signal, new_value: FourState) -> None:
         new_value = new_value.resize(signal.width, signed=signal.signed)
         old = signal.value
@@ -565,8 +583,7 @@ class Simulator:
         if name == "$time" or name == "$realtime" or name == "$stime":
             return FourState.from_int(self.time, width=64)
         if name == "$random" or name == "$urandom":
-            self._random_state = (1103515245 * self._random_state + 12345) & 0x7FFFFFFF
-            return FourState.from_int(self._random_state, width=32)
+            return FourState.from_int(self.rng.next_value(), width=32)
         if name == "$clog2":
             if args and args[0].is_fully_known:
                 n = args[0].to_int()

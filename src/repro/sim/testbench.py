@@ -13,10 +13,21 @@ from __future__ import annotations
 
 import re
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import List, Optional, Sequence
 
 from repro.verilog.syntax import check_syntax
-from repro.sim.simulator import SimulationError, Simulator
+from repro.sim.compiled import CompiledSimulator, simulate_batch
+from repro.sim.rng import VerilogRng
+from repro.sim.simulator import SimulationError, SimulationResult, Simulator
+
+#: Selectable simulation backends.  The interpreter is the semantics oracle;
+#: the compiled backend is the fast path, asserted cycle-identical to it by
+#: ``tests/test_sim_differential.py`` and ``tests/test_sim_golden.py``.
+BACKENDS = {"interpreter": Simulator, "compiled": CompiledSimulator}
+
+#: Backend used when callers do not pick one explicitly.  Compiled, because
+#: the differential/golden harness gates every release of this default.
+DEFAULT_BACKEND = "compiled"
 
 #: Markers our benchmark testbenches emit.  Generated designs never emit these
 #: themselves, so their presence/absence in the captured output is a reliable
@@ -52,6 +63,8 @@ def run_testbench(
     top: Optional[str] = None,
     max_time: int = 200_000,
     max_events: int = 200_000,
+    backend: str = DEFAULT_BACKEND,
+    random_seed: int = VerilogRng.DEFAULT_SEED,
 ) -> TestbenchResult:
     """Simulate ``design_source`` together with ``testbench_source``.
 
@@ -61,6 +74,9 @@ def run_testbench(
         top: explicit top module name; inferred from the testbench when omitted.
         max_time: simulation time limit.
         max_events: event-count limit (guards against runaway generated code).
+        backend: ``"interpreter"`` or ``"compiled"`` (see :data:`BACKENDS`).
+        random_seed: seed of the ``$random`` stream; the same seed produces
+            the same draw sequence on every backend.
 
     Returns:
         A :class:`TestbenchResult`.  ``compiled`` mirrors iverilog's compile
@@ -68,6 +84,10 @@ def run_testbench(
         if the simulation ran and the output contains a pass marker and no
         fail marker.
     """
+    try:
+        simulator_cls = BACKENDS[backend]
+    except KeyError:
+        raise ValueError(f"unknown simulation backend {backend!r} (choose from {sorted(BACKENDS)})") from None
     design_check = check_syntax(design_source)
     if not design_check.ok:
         return TestbenchResult(compiled=False, simulated=False, passed=False, errors=design_check.errors)
@@ -80,11 +100,70 @@ def run_testbench(
         top = tb_check.module_names[-1]
 
     try:
-        simulator = Simulator(combined, top=top, max_time=max_time, max_events=max_events)
+        simulator = simulator_cls(
+            combined, top=top, max_time=max_time, max_events=max_events, rng=VerilogRng(random_seed)
+        )
     except (SimulationError, RecursionError, ValueError) as exc:
         return TestbenchResult(compiled=False, simulated=False, passed=False, errors=[str(exc)])
 
-    result = simulator.run()
+    return _result_from_simulation(simulator.run())
+
+
+def run_testbench_batch(
+    design_sources: Sequence[str],
+    testbench_source: str,
+    top: Optional[str] = None,
+    max_time: int = 200_000,
+    max_events: int = 200_000,
+    backend: str = DEFAULT_BACKEND,
+    random_seed: int = VerilogRng.DEFAULT_SEED,
+) -> List[TestbenchResult]:
+    """Grade many candidate designs against one shared testbench.
+
+    With the compiled backend, candidates that fit the vectorizable subset
+    (purely combinational, vector-style testbench) are simulated as one NumPy
+    sweep over the candidate axis (:func:`repro.sim.compiled.simulate_batch`);
+    everything else falls back to per-candidate :func:`run_testbench` with
+    identical results, so callers never need to know which path ran.
+    """
+    if backend not in BACKENDS:
+        raise ValueError(f"unknown simulation backend {backend!r} (choose from {sorted(BACKENDS)})")
+    results: List[Optional[TestbenchResult]] = [None] * len(design_sources)
+    if backend == "compiled":
+        tb_check = check_syntax(testbench_source)
+        if tb_check.ok:
+            resolved_top = top
+            if resolved_top is None and tb_check.module_names:
+                resolved_top = tb_check.module_names[-1]
+            eligible = [
+                index for index, source in enumerate(design_sources) if check_syntax(source).ok
+            ]
+            batch = simulate_batch(
+                [design_sources[index] for index in eligible],
+                testbench_source,
+                top=resolved_top,
+                max_time=max_time,
+                max_events=max_events,
+            )
+            if batch is not None:
+                for index, sim_result in zip(eligible, batch):
+                    if sim_result is not None:
+                        results[index] = _result_from_simulation(sim_result)
+    for index, source in enumerate(design_sources):
+        if results[index] is None:
+            results[index] = run_testbench(
+                source,
+                testbench_source,
+                top=top,
+                max_time=max_time,
+                max_events=max_events,
+                backend=backend,
+                random_seed=random_seed,
+            )
+    return results  # type: ignore[return-value]
+
+
+def _result_from_simulation(result: SimulationResult) -> TestbenchResult:
     if result.error is not None:
         return TestbenchResult(
             compiled=True,
@@ -94,12 +173,10 @@ def run_testbench(
             errors=[result.error],
             simulation_time=result.time,
         )
-
-    passed = _judge_output(result.output)
     return TestbenchResult(
         compiled=True,
         simulated=True,
-        passed=passed,
+        passed=_judge_output(result.output),
         output=result.output,
         simulation_time=result.time,
     )

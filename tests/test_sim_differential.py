@@ -1,0 +1,403 @@
+"""Differential fuzzing: compiled simulation backend vs the interpreter oracle.
+
+The compiled backend (:mod:`repro.sim.compiled`) is only allowed to be the
+evalbench default because it is *proven* cycle-identical to the interpreter.
+This suite generates seeded random designs + testbenches across the trace
+shapes that exercise every scheduler region — combinational settle,
+clocked/NBA batches, memory arrays, ``$finish`` vs timeout endings, shared
+``$random`` stimulus — and asserts both backends produce identical
+:class:`~repro.sim.simulator.SimulationResult` fields, identical ``$display``
+bytes, and identical final signal state.  The vectorized batch path is held to
+the same standard whenever a generated case falls inside its subset.
+
+Abbreviated case counts run on every CI matrix job; the full-size sweep runs
+under the ``slow`` marker (``--runslow`` / ``REPRO_RUN_SLOW=1``).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import pytest
+
+from repro.evalbench.designs import combinational_testbench
+from repro.sim.compiled import CompiledSimulator, simulate_batch
+from repro.sim.rng import VerilogRng
+from repro.sim.simulator import Simulator
+from repro.sim.testbench import run_testbench, run_testbench_batch
+
+from proptest import Cases, for_all, num_cases
+
+SEED = 2024
+
+
+def _run_backend(cls, design: str, testbench: str, max_time: int = 100_000):
+    combined = design.rstrip() + "\n\n" + testbench
+    top = testbench.split("module ", 1)[1].split(";")[0].split("(")[0].strip()
+    simulator = cls(combined, top=top, max_time=max_time, rng=VerilogRng(99))
+    result = simulator.run()
+    return result, simulator.final_state()
+
+
+def assert_backends_identical(design: str, testbench: str, max_time: int = 100_000) -> None:
+    """The core oracle property: every observable field must match."""
+    oracle, oracle_state = _run_backend(Simulator, design, testbench, max_time)
+    compiled, compiled_state = _run_backend(CompiledSimulator, design, testbench, max_time)
+    assert compiled.finished == oracle.finished, f"finished: {compiled.finished} != {oracle.finished}"
+    assert compiled.time == oracle.time, f"time: {compiled.time} != {oracle.time}"
+    assert compiled.cycles == oracle.cycles, f"cycles: {compiled.cycles} != {oracle.cycles}"
+    assert compiled.error == oracle.error, f"error: {compiled.error!r} != {oracle.error!r}"
+    assert compiled.display_lines == oracle.display_lines
+    assert compiled.output == oracle.output
+    assert compiled_state == oracle_state
+
+
+def assert_batch_matches_oracle(design: str, testbench: str) -> None:
+    """When the vector subset applies, it must reproduce the oracle exactly."""
+    batch = simulate_batch([design], testbench)
+    if batch is None or batch[0] is None:
+        return  # outside the vectorizable subset: scalar fallback covers it
+    oracle, _state = _run_backend(Simulator, design, testbench, max_time=200_000)
+    vector = batch[0]
+    assert vector.finished == oracle.finished
+    assert vector.time == oracle.time
+    assert vector.cycles == oracle.cycles
+    assert vector.display_lines == oracle.display_lines
+    assert vector.output == oracle.output
+
+
+# --------------------------------------------------------------------------- #
+# Random program generators
+# --------------------------------------------------------------------------- #
+
+_BINARY_OPS = ["+", "-", "*", "&", "|", "^", "<<", ">>", "==", "!=", "<", "<=", ">", ">=", "&&", "||"]
+_UNARY_OPS = ["~", "!", "&", "|", "^"]
+
+
+def _random_expr(cases: Cases, names, depth: int) -> str:
+    if depth <= 0 or cases.boolean(0.3):
+        if cases.boolean(0.3):
+            width = cases.integer(1, 8)
+            return f"{width}'d{cases.integer(0, (1 << width) - 1)}"
+        return cases.choice(names)
+    kind = cases.integer(0, 3)
+    if kind == 0:
+        return f"({_random_expr(cases, names, depth - 1)} {cases.choice(_BINARY_OPS)} {_random_expr(cases, names, depth - 1)})"
+    if kind == 1:
+        return f"({cases.choice(_UNARY_OPS)}{_random_expr(cases, names, depth - 1)})"
+    if kind == 2:
+        cond = _random_expr(cases, names, depth - 1)
+        return f"({cond} ? {_random_expr(cases, names, depth - 1)} : {_random_expr(cases, names, depth - 1)})"
+    return f"{{{_random_expr(cases, names, depth - 1)}, {_random_expr(cases, names, depth - 1)}}}"
+
+
+def _combinational_case(cases: Cases) -> Tuple[str, str]:
+    """A random assign-network design plus a vector testbench for it.
+
+    Expected values are random, so roughly half the checks fire — both the
+    PASSED and the MISMATCH/FAILED display paths stay covered.
+    """
+    num_inputs = cases.integer(1, 3)
+    inputs = [(f"i{n}", cases.integer(1, 12)) for n in range(num_inputs)]
+    num_outputs = cases.integer(1, 3)
+    outputs = [(f"o{n}", cases.integer(1, 12)) for n in range(num_outputs)]
+    input_names = [name for name, _ in inputs]
+    body = []
+    for index, (name, _width) in enumerate(outputs):
+        # Later outputs may read earlier ones: exercises cascaded settle.
+        visible = input_names + [o for o, _w in outputs[:index]]
+        body.append(f"    assign {name} = {_random_expr(cases, visible, cases.integer(1, 3))};")
+    ports = [f"    input [{w - 1}:0] {n}" if w > 1 else f"    input {n}" for n, w in inputs]
+    ports += [f"    output [{w - 1}:0] {n}" if w > 1 else f"    output {n}" for n, w in outputs]
+    design = "module fuzz_comb (\n" + ",\n".join(ports) + "\n);\n" + "\n".join(body) + "\nendmodule\n"
+    vectors = []
+    for _ in range(cases.integer(1, 5)):
+        driven = {name: cases.integer(0, (1 << width) - 1) for name, width in inputs}
+        expected = {name: cases.integer(0, (1 << width) - 1) for name, width in outputs}
+        vectors.append((driven, expected))
+    testbench = combinational_testbench("fuzz_comb", inputs, outputs, vectors)
+    return design, testbench
+
+
+def _clocked_case(cases: Cases) -> Tuple[str, str]:
+    """A random clocked design with NBA-heavy always blocks."""
+    width = cases.integer(2, 10)
+    const_a = cases.integer(1, (1 << width) - 1)
+    const_b = cases.integer(0, (1 << width) - 1)
+    use_reset = cases.boolean()
+    mix_blocking = cases.boolean(0.3)
+    stage2 = "q1 <= q0 ^ d;" if not mix_blocking else "q1 = q0 ^ d;"
+    sensitivity = "posedge clk or posedge rst" if use_reset else "posedge clk"
+    reset_arm = (
+        "        if (rst) begin q0 <= 0; q1 <= 0; end\n        else begin\n"
+        if use_reset
+        else "        begin\n"
+    )
+    design = f"""module fuzz_seq (
+    input clk,
+    input rst,
+    input [{width - 1}:0] d,
+    output reg [{width - 1}:0] q0,
+    output reg [{width - 1}:0] q1
+);
+    always @({sensitivity}) begin
+{reset_arm}            q0 <= d + {width}'d{const_a};
+            {stage2}
+        end
+    end
+endmodule
+"""
+    cycles = cases.integer(2, 6)
+    drives = []
+    for step in range(cycles):
+        value = cases.integer(0, (1 << width) - 1)
+        drives.append(f"        d = {width}'d{value};")
+        drives.append("        #10;")
+        if cases.boolean(0.5):
+            drives.append(f'        $display("cycle {step}: q0=%d q1=%b", q0, q1);')
+    testbench = f"""module fuzz_seq_tb;
+    reg clk;
+    reg rst;
+    reg [{width - 1}:0] d;
+    wire [{width - 1}:0] q0;
+    wire [{width - 1}:0] q1;
+    fuzz_seq dut(.clk(clk), .rst(rst), .d(d), .q0(q0), .q1(q1));
+    always #5 clk = ~clk;
+    initial begin
+        clk = 0;
+        rst = 1;
+        d = {width}'d{const_b};
+        #12;
+        rst = 0;
+{chr(10).join(drives)}
+        $display("final q0=%d q1=%d", q0, q1);
+        $finish;
+    end
+endmodule
+"""
+    return design, testbench
+
+
+def _array_case(cases: Cases) -> Tuple[str, str]:
+    """A memory array written then read back, with random addressing."""
+    width = cases.integer(2, 8)
+    depth_bits = cases.integer(1, 3)
+    depth = 1 << depth_bits
+    writes = []
+    for _ in range(cases.integer(2, 6)):
+        addr = cases.integer(0, depth - 1)
+        value = cases.integer(0, (1 << width) - 1)
+        writes.append(f"        mem[{addr}] = {width}'d{value};")
+    reads = []
+    for _ in range(cases.integer(1, 4)):
+        addr = cases.integer(0, depth - 1)
+        reads.append(f'        $display("mem[{addr}]=%b", mem[{addr}]);')
+    testbench = f"""module fuzz_mem_tb;
+    reg [{width - 1}:0] mem [0:{depth - 1}];
+    integer i;
+    initial begin
+{chr(10).join(writes)}
+        #5;
+{chr(10).join(reads)}
+        for (i = 0; i < {depth}; i = i + 1) begin
+            $display("sweep %d: %d", i, mem[i]);
+        end
+        $finish;
+    end
+endmodule
+"""
+    design = "module fuzz_mem_unused (input x, output y);\n    assign y = x;\nendmodule\n"
+    return design, testbench
+
+
+def _termination_case(cases: Cases) -> Tuple[str, str, int]:
+    """Traces that end by ``$finish``, by quiescence, or by the time limit."""
+    width = cases.integer(1, 6)
+    period = cases.choice([4, 6, 10])
+    mode = cases.choice(["finish", "timeout", "quiescent"])
+    max_time = cases.choice([40, 73, 111])
+    if mode == "finish":
+        tail = f"        #{cases.integer(1, 30)};\n        $finish;"
+        clock = "    always #%d clk = ~clk;" % period
+    elif mode == "timeout":
+        tail = "        // runs until the time limit"
+        clock = "    always #%d clk = ~clk;" % period
+    else:
+        tail = f"        #{cases.integer(1, 20)};"
+        clock = "    // no free-running clock: simulation goes quiescent"
+    testbench = f"""module fuzz_term_tb;
+    reg clk;
+    reg [{width - 1}:0] n;
+{clock}
+    always @(posedge clk) n <= n + 1'b1;
+    initial begin
+        clk = 0;
+        n = 0;
+{tail}
+    end
+endmodule
+"""
+    design = "module fuzz_term_unused (input x, output y);\n    assign y = ~x;\nendmodule\n"
+    return design, testbench, max_time
+
+
+# --------------------------------------------------------------------------- #
+# Differential properties
+# --------------------------------------------------------------------------- #
+
+
+def test_differential_combinational() -> None:
+    def prop(cases: Cases) -> None:
+        design, testbench = _combinational_case(cases)
+        assert_backends_identical(design, testbench)
+        assert_batch_matches_oracle(design, testbench)
+
+    for_all(num_cases(quick=25, full=300), prop, seed=SEED)
+
+
+def test_differential_clocked_nba() -> None:
+    def prop(cases: Cases) -> None:
+        design, testbench = _clocked_case(cases)
+        assert_backends_identical(design, testbench)
+
+    for_all(num_cases(quick=15, full=200), prop, seed=SEED + 1)
+
+
+def test_differential_arrays() -> None:
+    def prop(cases: Cases) -> None:
+        design, testbench = _array_case(cases)
+        assert_backends_identical(design, testbench)
+
+    for_all(num_cases(quick=10, full=150), prop, seed=SEED + 2)
+
+
+def test_differential_termination() -> None:
+    def prop(cases: Cases) -> None:
+        design, testbench, max_time = _termination_case(cases)
+        assert_backends_identical(design, testbench, max_time=max_time)
+
+    for_all(num_cases(quick=10, full=150), prop, seed=SEED + 3)
+
+
+def test_differential_random_stimulus() -> None:
+    """Both backends must consume the shared ``$random`` stream identically."""
+    testbench = """module fuzz_rand_tb;
+    reg [7:0] a;
+    reg [7:0] b;
+    wire [8:0] s;
+    integer i;
+    fuzz_rand_add dut(.a(a), .b(b), .s(s));
+    initial begin
+        for (i = 0; i < 8; i = i + 1) begin
+            a = $random;
+            b = $random % 17;
+            #10;
+            $display("%d + %d -> %d (urandom %d)", a, b, s, $urandom);
+        end
+        $finish;
+    end
+endmodule
+"""
+    design = """module fuzz_rand_add (
+    input [7:0] a,
+    input [7:0] b,
+    output [8:0] s
+);
+    assign s = a + b;
+endmodule
+"""
+    assert_backends_identical(design, testbench)
+
+
+# --------------------------------------------------------------------------- #
+# $random stream regression
+# --------------------------------------------------------------------------- #
+
+
+def test_verilog_rng_pinned_sequence() -> None:
+    """The LCG behind ``$random`` is frozen: changing it would silently break
+    replayability of every recorded simulation. First draws are pinned."""
+    rng = VerilogRng(VerilogRng.DEFAULT_SEED)
+    assert [rng.next_value() for _ in range(5)] == [
+        1406932606,
+        654583775,
+        1449466924,
+        229283573,
+        1109335178,
+    ]
+    fresh = VerilogRng(VerilogRng.DEFAULT_SEED)
+    clone = fresh.clone()
+    assert fresh.next_value() == clone.next_value()
+
+
+def test_rng_seed_controls_testbench_stream() -> None:
+    design = "module rseed (input x, output y);\n    assign y = x;\nendmodule\n"
+    testbench = """module rseed_tb;
+    reg x;
+    wire y;
+    rseed dut(.x(x), .y(y));
+    initial begin
+        x = 0;
+        #1;
+        $display("draw %d %d", $random, $random);
+        $finish;
+    end
+endmodule
+"""
+    interp = run_testbench(design, testbench, backend="interpreter", random_seed=7)
+    compiled = run_testbench(design, testbench, backend="compiled", random_seed=7)
+    assert interp.output == compiled.output
+    other = run_testbench(design, testbench, backend="compiled", random_seed=8)
+    assert other.output != compiled.output
+
+
+def test_unknown_backend_rejected() -> None:
+    with pytest.raises(ValueError, match="unknown simulation backend"):
+        run_testbench("module m; endmodule", "module tb; endmodule", backend="verilator")
+    with pytest.raises(ValueError, match="unknown simulation backend"):
+        run_testbench_batch([], "module tb; endmodule", backend="verilator")
+
+
+# --------------------------------------------------------------------------- #
+# Batched runner equivalence
+# --------------------------------------------------------------------------- #
+
+
+def test_run_testbench_batch_matches_scalar() -> None:
+    def prop(cases: Cases) -> None:
+        design, testbench = _combinational_case(cases)
+        mutated = design.replace("assign o0 =", "assign o0 = 1'd1 ^", 1)
+        broken = design.replace(";", "", 1)  # syntax error candidate
+        candidates = [design, mutated, broken]
+        batch = run_testbench_batch(candidates, testbench)
+        for candidate, got in zip(candidates, batch):
+            want = run_testbench(candidate, testbench)
+            assert got.compiled == want.compiled
+            assert got.simulated == want.simulated
+            assert got.passed == want.passed
+            assert got.output == want.output
+
+    for_all(num_cases(quick=8, full=60), prop, seed=SEED + 4)
+
+
+@pytest.mark.slow
+def test_differential_full_sweep() -> None:
+    """Full-size randomized sweep across every generator family."""
+
+    def prop(cases: Cases) -> None:
+        family = cases.integer(0, 3)
+        if family == 0:
+            design, testbench = _combinational_case(cases)
+            assert_backends_identical(design, testbench)
+            assert_batch_matches_oracle(design, testbench)
+        elif family == 1:
+            design, testbench = _clocked_case(cases)
+            assert_backends_identical(design, testbench)
+        elif family == 2:
+            design, testbench = _array_case(cases)
+            assert_backends_identical(design, testbench)
+        else:
+            design, testbench, max_time = _termination_case(cases)
+            assert_backends_identical(design, testbench, max_time=max_time)
+
+    for_all(400, prop, seed=SEED + 5)
