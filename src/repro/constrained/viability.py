@@ -1,0 +1,328 @@
+"""Viable-prefix classification over the Verilog lexer/parser.
+
+The grammar mask (:mod:`repro.constrained.mask`) needs one primitive: given
+the text decoded so far, is it still the prefix of *some* syntactically valid
+Verilog source?  This module answers that by driving the repo's own lexer and
+recursive-descent parser (:mod:`repro.verilog`) in a prefix-tolerant way:
+
+* the **lexer** runs in streaming mode; an error is tolerated only when it
+  consumed the input to the very end (an unterminated string/comment or a
+  number still missing its digits is an *incomplete trailing token*, not a
+  syntax error).  An error anchored mid-stream can never be repaired by more
+  input, so the prefix is dead;
+* the **parser** runs over the cleanly-lexed portion; a :class:`ParseError`
+  whose offending token is EOF (or raised with the parser's lookahead already
+  at EOF) means the prefix merely *ends too early* and stays viable, while an
+  error anchored at a real token rejects the prefix outright;
+* the **last token is tentative** when it touches the end of the text: an
+  identifier like ``endmodul`` may still grow into the ``endmodule`` keyword,
+  so a parse failure with the last token included is retried without it.
+
+The key property the mask relies on is *prefix-closure*: every prefix of a
+viable string is itself viable (more input can only be appended at the end),
+so committing BPE pieces one at a time can never paint the decoder into a
+corner that a full re-check would have caught earlier.
+
+:func:`completion_suffix` inverts the check: from any viable prefix it builds
+a short textual suffix that closes every open construct (guided by the
+parser's own ``expected ...`` diagnostics), which the constrained decoder uses
+to guarantee a complete design when the token budget runs out mid-module.
+"""
+
+from __future__ import annotations
+
+import enum
+import re
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Optional, Tuple
+
+from repro.verilog.lexer import KEYWORDS, MULTI_CHAR_OPERATORS, Lexer, LexerError, TokenKind
+from repro.verilog.parser import ParseError, Parser
+
+
+class PrefixVerdict(enum.Enum):
+    """Classification of a text against the Verilog grammar."""
+
+    #: No continuation can make the text parse; the prefix is dead.
+    INVALID = "invalid"
+    #: Not a complete source yet, but some continuation parses.
+    VIABLE = "viable"
+    #: Parses as-is into a source file with at least one module.
+    COMPLETE = "complete"
+
+
+#: Token kinds that may still grow when they touch the end of the text
+#: (``endmodul`` -> ``endmodule``, ``<`` -> ``<=``, ``4`` -> ``4'h0``...).
+#: Strings end with their closing quote and punctuation is single-char, so
+#: neither can extend.
+_EXTENDABLE_KINDS = frozenset(
+    {
+        TokenKind.IDENTIFIER,
+        TokenKind.KEYWORD,
+        TokenKind.NUMBER,
+        TokenKind.OPERATOR,
+        TokenKind.DIRECTIVE,
+        TokenKind.SYSTEM_IDENTIFIER,
+    }
+)
+
+
+@dataclass(frozen=True)
+class _ScanResult:
+    """Outcome of the prefix-tolerant streaming lex."""
+
+    #: False when the lexer rejected the text mid-stream (dead prefix).
+    ok: bool
+    #: True when the text ends inside an incomplete token (unterminated
+    #: string/comment, number missing digits...); ``cut`` then marks where
+    #: the incomplete construct starts.
+    partial: bool = False
+    #: Character offset at which the incomplete trailing construct begins.
+    cut: int = 0
+    #: The lexer's error message when ``partial`` (drives closure healing).
+    partial_message: str = ""
+    #: True when the last complete token touches the end of the text and its
+    #: kind may extend with more characters.
+    extendable: bool = False
+    #: Character offset where the last complete token starts.
+    last_start: int = 0
+    #: Source text of the last complete token.
+    last_text: str = ""
+    #: Kind of the last complete token (None when the text has no tokens).
+    last_kind: Optional[TokenKind] = None
+
+
+def _scan(text: str) -> _ScanResult:
+    """Stream-lex ``text``, tolerating an incomplete construct only at the end."""
+    lexer = Lexer(text)
+    last_start = 0
+    last_end = 0
+    last_text = ""
+    last_kind: Optional[TokenKind] = None
+    while True:
+        before = lexer.pos
+        try:
+            token = lexer.next_token()
+        except LexerError as exc:
+            if lexer.pos >= len(text):
+                # The error consumed the input: an incomplete trailing token,
+                # repairable by appending more characters.
+                return _ScanResult(
+                    ok=True,
+                    partial=True,
+                    cut=before,
+                    partial_message=str(exc),
+                    last_start=last_start,
+                    last_text=last_text,
+                    last_kind=last_kind,
+                )
+            return _ScanResult(ok=False)
+        if token.kind is TokenKind.EOF:
+            break
+        last_start = lexer.pos - len(token.text)
+        last_end = lexer.pos
+        last_text = token.text
+        last_kind = token.kind
+    extendable = last_kind in _EXTENDABLE_KINDS and last_end == len(text) and last_end > 0
+    return _ScanResult(
+        ok=True,
+        extendable=extendable,
+        last_start=last_start,
+        last_text=last_text,
+        last_kind=last_kind,
+    )
+
+
+@lru_cache(maxsize=16384)
+def _parse_probe(body: str) -> Tuple[PrefixVerdict, str]:
+    """Parse ``body`` (cleanly lexable) and classify the outcome.
+
+    Returns ``(verdict, message)`` where ``message`` is the parse error text
+    (empty for COMPLETE) — :func:`completion_suffix` reads the parser's own
+    ``expected ...`` demand out of it.
+    """
+    try:
+        parser = Parser(body)
+    except (LexerError, RecursionError):
+        return PrefixVerdict.INVALID, "unlexable"
+    try:
+        parser.parse_source()
+    except ParseError as exc:
+        at_eof = (exc.token is not None and exc.token.kind is TokenKind.EOF) or (
+            parser._peek().kind is TokenKind.EOF
+        )
+        # An error at (or raised while looking at) EOF means the input simply
+        # ended too early — more tokens may fix it.  Anchored at a real token
+        # it is a hard rejection: that token can never change.
+        if at_eof:
+            return PrefixVerdict.VIABLE, str(exc)
+        return PrefixVerdict.INVALID, str(exc)
+    except RecursionError:
+        return PrefixVerdict.INVALID, "recursion limit"
+    return PrefixVerdict.COMPLETE, ""
+
+
+@lru_cache(maxsize=65536)
+def classify_prefix(text: str) -> PrefixVerdict:
+    """Classify ``text`` as INVALID / VIABLE / COMPLETE Verilog.
+
+    Empty (or whitespace/comment-only) text is VIABLE: a module can still
+    follow.  COMPLETE requires at least one fully parsed module and no
+    dangling partial token.
+    """
+    scan = _scan(text)
+    if not scan.ok:
+        return PrefixVerdict.INVALID
+    if scan.partial:
+        # The incomplete tail commits to one token kind (an open string can
+        # only become a STRING, ``4'``/``4'h`` only a NUMBER, an open ``/*``
+        # only whitespace), so heal it into a concrete witness of that kind
+        # and parse in context: a number dangling where the grammar can never
+        # accept a number is a dead prefix even though the token itself could
+        # be finished.
+        healed = _heal_partial_tail(text, scan.partial_message)
+        if healed is None:
+            return PrefixVerdict.INVALID
+        verdict, _ = _parse_probe(text + healed)
+        return PrefixVerdict.VIABLE if verdict is not PrefixVerdict.INVALID else PrefixVerdict.INVALID
+    verdict, _ = _parse_probe(text)
+    if verdict is PrefixVerdict.INVALID and scan.extendable:
+        # The last token touches the end of the text, so it may still grow
+        # into a *different* token (``endmodul`` -> ``endmodule`` keyword,
+        # ``begin`` -> ``beginx`` identifier, ``<`` -> ``<=``).  Viability
+        # needs a concrete witness: some extension whose parse survives.
+        # Merely dropping the token would wrongly revive prefixes like
+        # ``endmodule`` whose every extension is equally dead.
+        if _extend_last_token(text, scan) is not None:
+            return PrefixVerdict.VIABLE
+    return verdict
+
+
+def is_viable_prefix(text: str) -> bool:
+    """True when ``text`` is (a prefix of) some syntactically valid source."""
+    return classify_prefix(text) is not PrefixVerdict.INVALID
+
+
+def is_complete_source(text: str) -> bool:
+    """True when ``text`` parses as-is with at least one module."""
+    return classify_prefix(text) is PrefixVerdict.COMPLETE
+
+
+# --------------------------------------------------------------------------- #
+# Grammar-guided closure
+# --------------------------------------------------------------------------- #
+
+#: ``expected 'X' at line ...`` -> the literal token the parser demands.
+_EXPECTED_RE = re.compile(r"^expected '([^']+)'")
+
+#: Parser diagnostics that name the construct left open, mapped to its closer.
+_EOF_CLOSERS = [
+    ("unexpected end of file inside begin/end block", "end"),
+    ("unexpected end of file inside case", "endcase"),
+    ("unexpected end of file inside generate", "endgenerate"),
+    ("unexpected end of file inside module", "endmodule"),
+    ("source contains no modules", "module"),
+    ("expected identifier", "x"),
+    ("expected expression", "0"),
+    ("expected '=' or '<=' in assignment", "="),
+    ("expected assignment operator", "="),
+]
+
+
+def _heal_partial_tail(text: str, message: str) -> Optional[str]:
+    """Characters that finish the incomplete lexical construct at the end of ``text``."""
+    if "unterminated block comment" in message:
+        return "*/"
+    if "unterminated string literal" in message:
+        # A trailing backslash would escape the closing quote.
+        return 'x"' if text.endswith("\\") else '"'
+    if "invalid number base" in message:
+        return "h0"  # ``4'`` or ``4's`` still waiting for its base
+    if "number literal missing digits" in message:
+        return "0"
+    return None
+
+
+def _extend_last_token(text: str, scan: _ScanResult) -> Optional[str]:
+    """Grow a tentative last token into one that keeps the prefix alive.
+
+    Used when the text is viable *only* because its last token may extend
+    (e.g. committed pieces ending in ``endmodul``): try completing it into
+    each keyword / multi-char operator it prefixes.
+    """
+    tail = scan.last_text
+    candidates = []
+    if scan.last_kind in (TokenKind.IDENTIFIER, TokenKind.KEYWORD):
+        candidates = [kw[len(tail):] for kw in sorted(KEYWORDS) if kw.startswith(tail) and len(kw) > len(tail)]
+        if scan.last_kind is TokenKind.KEYWORD:
+            # A keyword can also grow into a plain identifier (``begin`` ->
+            # ``beginx``), which changes its token kind and may start e.g. a
+            # module instantiation where the keyword itself was illegal.
+            candidates.append("x")
+    elif scan.last_kind is TokenKind.OPERATOR:
+        candidates = [op[len(tail):] for op in MULTI_CHAR_OPERATORS if op.startswith(tail) and len(op) > len(tail)]
+    elif scan.last_kind is TokenKind.NUMBER:
+        candidates = ["'h0"]
+    for extension in candidates:
+        probe, _ = _parse_probe(text + extension)
+        if probe is not PrefixVerdict.INVALID:
+            return extension
+    return None
+
+
+def completion_suffix(text: str, max_appends: int = 128) -> Optional[str]:
+    """Build a suffix that turns a viable prefix into a complete source.
+
+    Repeatedly parses ``text + suffix`` and appends exactly the token the
+    parser demands next (``expected ';'`` -> ``;``, ``expected identifier``
+    -> a fresh name, an open ``begin`` -> ``end``, ...).  Each appended token
+    is consumed before the next diagnostic, so the parse position strictly
+    advances and the loop terminates in one append per open construct.
+
+    Returns ``None`` when ``text`` is not a viable prefix or no closure was
+    found within ``max_appends`` steps (pathological inputs only).
+    """
+    suffix = ""
+    for _ in range(max_appends):
+        current = text + suffix
+        scan = _scan(current)
+        if not scan.ok:
+            return None
+        if scan.partial:
+            healed = _heal_partial_tail(current, scan.partial_message)
+            if healed is None:
+                return None
+            suffix += healed
+            continue
+        verdict, message = _parse_probe(current)
+        if verdict is PrefixVerdict.COMPLETE:
+            return suffix
+        if verdict is PrefixVerdict.INVALID:
+            if not scan.extendable:
+                return None
+            extension = _extend_last_token(current, scan)
+            if extension is None:
+                return None
+            suffix += extension
+            continue
+        # VIABLE: satisfy the parser's immediate demand.
+        piece = None
+        match = _EXPECTED_RE.match(message)
+        if match is not None:
+            piece = match.group(1)
+        else:
+            for marker, closer in _EOF_CLOSERS:
+                if message.startswith(marker):
+                    piece = closer
+                    break
+        if piece is None:
+            return None
+        suffix += " " + piece
+    return None
+
+
+def clear_viability_caches() -> None:
+    """Drop the memoized classifications (tests use this to bound memory)."""
+    _parse_probe.cache_clear()
+    classify_prefix.cache_clear()

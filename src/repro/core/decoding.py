@@ -50,10 +50,12 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.constrained.mask import SyntaxMaskState, closure_token_ids, grammar_mask, masked_sample
 from repro.core.acceptance import TypicalAcceptance
 from repro.core.integrity import truncate_to_complete_fragment
 from repro.core.token_tree import (
     TokenTree,
+    prefilter_candidates,
     tree_bias_cached,
     tree_bias_full,
     tree_position_offsets,
@@ -91,6 +93,7 @@ def propose_candidates(
     rng: np.random.Generator,
     num_candidates: int,
     max_heads: int,
+    mask: Optional[SyntaxMaskState] = None,
 ) -> List[List[int]]:
     """Build candidate continuations from base + Medusa-head predictions.
 
@@ -102,12 +105,17 @@ def propose_candidates(
         rng: per-request random generator (consumed only under sampling).
         num_candidates: maximum number of candidates to return.
         max_heads: number of Medusa heads to speculate with.
+        mask: optional grammar mask (:mod:`repro.constrained`).  Constrains
+            only the committed first token; the speculated tails and the
+            alternative base token stay unconstrained here and are truncated
+            at their first violation by :func:`repro.core.token_tree
+            .prefilter_candidates` before verification.
 
     Returns:
         Candidate token lists; candidate 0 always starts with the token the
         base model itself commits this step.
     """
-    first_token = sample_from_logits(base_logits, config, rng)
+    first_token = masked_sample(base_logits, config, rng, mask)
     heads = list(head_logits[:max_heads])
     # One stacked argmax instead of one call per head: identical results,
     # and proposal runs once per request per step in the serving engine, so
@@ -299,6 +307,13 @@ class StepRecord:
     committed: int
     ends_at_boundary: bool
     verified: int = 1
+    #: Positions the verification forward *would* have computed this step had
+    #: the grammar pre-filter not pruned the candidate set (``None`` for
+    #: unconstrained steps, where it equals ``verified``).  The constrained
+    #: bench's verified-token-savings claim compares the two within one run —
+    #: comparing totals across separate runs would be confounded by the runs
+    #: taking different numbers of steps.
+    verified_unpruned: Optional[int] = None
 
 
 @dataclass
@@ -323,6 +338,11 @@ class DecodeResult:
     #: expired deadline); ``token_ids`` then holds the partial output
     #: committed before cancellation.  Always False for sequential decoding.
     cancelled: bool = False
+    #: Trailing tokens appended by the grammar closure when a constrained run
+    #: exhausted its budget mid-module (0 for unconstrained runs and for
+    #: constrained runs that completed on their own).  They are part of
+    #: ``token_ids``/``code`` but were never proposed or verified.
+    closure_tokens: int = 0
 
     @property
     def decode_seconds(self) -> float:
@@ -354,6 +374,20 @@ class DecodeResult:
     def tokens_verified(self) -> int:
         """Total positions run through candidate verification (see :class:`StepRecord`)."""
         return sum(record.verified for record in self.step_records)
+
+    @property
+    def tokens_verified_unpruned(self) -> int:
+        """What :attr:`tokens_verified` would have been without grammar pruning.
+
+        Per step this is :attr:`StepRecord.verified_unpruned` when the grammar
+        pre-filter ran and :attr:`StepRecord.verified` otherwise, so for
+        unconstrained runs the two totals coincide and the difference is
+        exactly the verified-position savings of constrained decoding.
+        """
+        return sum(
+            record.verified if record.verified_unpruned is None else record.verified_unpruned
+            for record in self.step_records
+        )
 
 
 class SpeculativeDecoder:
@@ -419,21 +453,28 @@ class SpeculativeDecoder:
         """
         config = config or GenerationConfig.greedy_config()
         rng = np.random.default_rng(config.seed)
+        mask = grammar_mask(config.grammar, self.tokenizer)
         start = time.perf_counter()
         prefill_seconds = 0.0
         if self.strategy is DecodingStrategy.NTP or self.model.num_medusa_heads == 0:
             if self.use_cache:
                 output_ids, records, stopped, prefill_seconds = self._generate_ntp_cached(
-                    list(prompt_ids), config, rng
+                    list(prompt_ids), config, rng, mask
                 )
             else:
-                output_ids, records, stopped = self._generate_ntp(list(prompt_ids), config, rng)
+                output_ids, records, stopped = self._generate_ntp(list(prompt_ids), config, rng, mask)
         elif self.use_cache:
             output_ids, records, stopped, prefill_seconds = self._generate_speculative_cached(
-                list(prompt_ids), config, rng
+                list(prompt_ids), config, rng, mask
             )
         else:
-            output_ids, records, stopped = self._generate_speculative(list(prompt_ids), config, rng)
+            output_ids, records, stopped = self._generate_speculative(list(prompt_ids), config, rng, mask)
+        closure = closure_token_ids(mask, self.tokenizer) if mask is not None else []
+        if closure:
+            # Budget ran out mid-module: append the grammar closure so the
+            # constrained contract (the emitted code parses) holds even for
+            # truncated runs.  Unconstrained runs never enter this branch.
+            output_ids = output_ids + closure
         elapsed = time.perf_counter() - start
         text = self.tokenizer.decode(output_ids, keep_frag=True)
         code = self.tokenizer.decode(output_ids, keep_frag=False)
@@ -447,6 +488,7 @@ class SpeculativeDecoder:
             step_records=records,
             stopped_by_eos=stopped,
             prefill_seconds=prefill_seconds,
+            closure_tokens=len(closure),
         )
 
     def generate_from_text(self, prompt: str, config: Optional[GenerationConfig] = None) -> DecodeResult:
@@ -500,7 +542,11 @@ class SpeculativeDecoder:
     # ------------------------------------------------------------------ #
 
     def _generate_ntp(
-        self, prompt_ids: List[int], config: GenerationConfig, rng: np.random.Generator
+        self,
+        prompt_ids: List[int],
+        config: GenerationConfig,
+        rng: np.random.Generator,
+        mask: Optional[SyntaxMaskState] = None,
     ) -> Tuple[List[int], List[StepRecord], bool]:
         output_ids: List[int] = []
         records: List[StepRecord] = []
@@ -510,7 +556,9 @@ class SpeculativeDecoder:
                 break
             decoder, encoder = self._model_inputs(prompt_ids, output_ids)
             base_logits, _ = self.model.forward_hidden(decoder, encoder)
-            next_token = sample_from_logits(base_logits[0, -1], config, rng)
+            next_token = masked_sample(base_logits[0, -1], config, rng, mask)
+            if mask is not None:
+                mask.advance(next_token)
             output_ids.append(next_token)
             records.append(StepRecord(proposed=1, accepted=1, committed=1, ends_at_boundary=True))
             if next_token == self.eos_id:
@@ -519,7 +567,11 @@ class SpeculativeDecoder:
         return output_ids, records, stopped
 
     def _generate_ntp_cached(
-        self, prompt_ids: List[int], config: GenerationConfig, rng: np.random.Generator
+        self,
+        prompt_ids: List[int],
+        config: GenerationConfig,
+        rng: np.random.Generator,
+        mask: Optional[SyntaxMaskState] = None,
     ) -> Tuple[List[int], List[StepRecord], bool, float]:
         """NTP decoding with a KV cache: prefill once, then one-token forwards."""
         output_ids: List[int] = []
@@ -536,7 +588,9 @@ class SpeculativeDecoder:
         while len(output_ids) < config.max_new_tokens:
             if self._truncate_budget(prompt_ids, len(output_ids), 1):
                 break
-            next_token = sample_from_logits(last_base, config, rng)
+            next_token = masked_sample(last_base, config, rng, mask)
+            if mask is not None:
+                mask.advance(next_token)
             output_ids.append(next_token)
             records.append(StepRecord(proposed=1, accepted=1, committed=1, ends_at_boundary=True))
             if next_token == self.eos_id:
@@ -557,6 +611,7 @@ class SpeculativeDecoder:
         head_logits: List[np.ndarray],
         config: GenerationConfig,
         rng: np.random.Generator,
+        mask: Optional[SyntaxMaskState] = None,
     ) -> List[List[int]]:
         """Build candidate continuations from base + head predictions."""
         return propose_candidates(
@@ -566,6 +621,7 @@ class SpeculativeDecoder:
             rng,
             num_candidates=self.num_candidates,
             max_heads=self.max_speculative_heads,
+            mask=mask,
         )
 
     @staticmethod
@@ -674,8 +730,37 @@ class SpeculativeDecoder:
             max_extra -= 1
         return [c[:max_extra] for c in candidates]
 
+    def _apply_grammar_prefilter(
+        self,
+        candidates: List[List[int]],
+        config: GenerationConfig,
+        mask: Optional[SyntaxMaskState],
+    ) -> Tuple[List[List[int]], Optional[int]]:
+        """Prune candidates under the grammar mask, before verification.
+
+        Returns ``(filtered, unpruned)`` where ``unpruned`` is the number of
+        positions this step's verification *would* have computed on the
+        unfiltered set (``None`` when unconstrained) — the like-for-like
+        baseline for the verified-savings accounting, measured at the same
+        step on the same proposal state.  The filtered set is re-deduped:
+        truncation can collapse candidates that differed only past their
+        first violation.
+        """
+        if mask is None:
+            return candidates, None
+        if config.tree_verify:
+            unpruned = TokenTree.from_candidates(candidates).size
+        else:
+            unpruned = len(candidates) * max(len(candidate) for candidate in candidates)
+        filtered = dedupe_candidates(prefilter_candidates(candidates, mask))
+        return filtered, unpruned
+
     def _generate_speculative(
-        self, prompt_ids: List[int], config: GenerationConfig, rng: np.random.Generator
+        self,
+        prompt_ids: List[int],
+        config: GenerationConfig,
+        rng: np.random.Generator,
+        mask: Optional[SyntaxMaskState] = None,
     ) -> Tuple[List[int], List[StepRecord], bool]:
         output_ids: List[int] = []
         records: List[StepRecord] = []
@@ -688,8 +773,9 @@ class SpeculativeDecoder:
             base_logits, hidden = self.model.forward_hidden(decoder, encoder)
             last_base = base_logits[0, -1]
             last_heads = [h[0] for h in self.model.head_logits_at(hidden[:, -1])]
-            candidates = self._propose_candidates(last_base, last_heads, config, rng)
+            candidates = self._propose_candidates(last_base, last_heads, config, rng, mask)
             candidates = dedupe_candidates(self._clip_candidates(prompt_ids, output_ids, candidates, remaining))
+            candidates, unpruned = self._apply_grammar_prefilter(candidates, config, mask)
 
             if config.tree_verify:
                 tree = TokenTree.from_candidates(candidates)
@@ -700,6 +786,9 @@ class SpeculativeDecoder:
                 verified = len(candidates) * max(len(candidate) for candidate in candidates)
             best_tokens, best_accepted, _ = self._select_best_candidate(candidates, verification, config)
 
+            if mask is not None:
+                for token_id in best_tokens:
+                    mask.advance(token_id)
             output_ids.extend(best_tokens)
             records.append(
                 StepRecord(
@@ -708,6 +797,7 @@ class SpeculativeDecoder:
                     committed=len(best_tokens),
                     ends_at_boundary=best_tokens[-1] in (self.frag_id, self.eos_id),
                     verified=verified,
+                    verified_unpruned=unpruned,
                 )
             )
             if self.eos_id in best_tokens:
@@ -716,7 +806,11 @@ class SpeculativeDecoder:
         return output_ids, records, stopped
 
     def _generate_speculative_cached(
-        self, prompt_ids: List[int], config: GenerationConfig, rng: np.random.Generator
+        self,
+        prompt_ids: List[int],
+        config: GenerationConfig,
+        rng: np.random.Generator,
+        mask: Optional[SyntaxMaskState] = None,
     ) -> Tuple[List[int], List[StepRecord], bool, float]:
         """Speculative decoding over a KV cache (the fast path).
 
@@ -749,8 +843,9 @@ class SpeculativeDecoder:
             remaining = config.max_new_tokens - len(output_ids)
             if self._truncate_budget(prompt_ids, len(output_ids), 1):
                 break
-            candidates = self._propose_candidates(last_base, last_heads, config, rng)
+            candidates = self._propose_candidates(last_base, last_heads, config, rng, mask)
             candidates = dedupe_candidates(self._clip_candidates(prompt_ids, output_ids, candidates, remaining))
+            candidates, unpruned = self._apply_grammar_prefilter(candidates, config, mask)
             prefix_len = cache.length
             greedy = config.greedy or config.temperature <= 0.0
 
@@ -834,6 +929,9 @@ class SpeculativeDecoder:
                 next_base = base_v[best_row, committed - 1]
                 next_hidden = hidden_v[best_row, committed - 1]
 
+            if mask is not None:
+                for token_id in best_tokens:
+                    mask.advance(token_id)
             output_ids.extend(best_tokens)
             records.append(
                 StepRecord(
@@ -842,6 +940,7 @@ class SpeculativeDecoder:
                     committed=committed,
                     ends_at_boundary=best_tokens[-1] in (self.frag_id, self.eos_id),
                     verified=verified,
+                    verified_unpruned=unpruned,
                 )
             )
             if self.eos_id in best_tokens:

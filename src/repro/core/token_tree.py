@@ -123,6 +123,48 @@ class TokenTree:
         return list(nodes if length is None else nodes[:length])
 
 
+def prefilter_candidates(candidates: List[List[int]], mask) -> List[List[int]]:
+    """Truncate speculative candidates at their first grammar violation.
+
+    The grammar pre-filter of constrained decoding
+    (:mod:`repro.constrained`): runs *before* tree construction and
+    verification, so grammar-dead branches never cost a verification
+    position — the tree built from the filtered set is a pruned subtree of
+    the unconstrained one, which is exactly why the verified-position count
+    strictly drops whenever the mask rejects anything.
+
+    ``mask`` is any object with the :class:`~repro.constrained.mask
+    .SyntaxMaskState` protocol (``allows`` / ``advance`` / ``snapshot`` /
+    ``restore``); ``None`` is the inert fast path and returns the input
+    unchanged.  Each candidate is walked from the current committed state,
+    with snapshot/restore keeping branches independent, and cut at the first
+    disallowed token.  Candidates truncated to nothing are dropped;
+    candidate 0's first token was committed under the mask by the proposal
+    itself, so the result is never empty in practice (a defensive fallback
+    keeps its first token if every candidate dies).
+    """
+    if mask is None:
+        return candidates
+    snapshot = mask.snapshot()
+    filtered: List[List[int]] = []
+    try:
+        for candidate in candidates:
+            mask.restore(snapshot)
+            kept = 0
+            for token_id in candidate:
+                if not mask.allows(token_id):
+                    break
+                mask.advance(token_id)
+                kept += 1
+            if kept:
+                filtered.append(candidate[:kept])
+    finally:
+        mask.restore(snapshot)
+    if not filtered:
+        return [list(candidates[0][:1])]
+    return filtered
+
+
 def tree_bias_cached(
     trees: Sequence[TokenTree],
     past_lengths: Sequence[int],

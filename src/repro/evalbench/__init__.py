@@ -10,7 +10,7 @@ baseline).
 from repro.evalbench.problems import Problem, ProblemSuite
 from repro.evalbench.rtllm import rtllm_suite
 from repro.evalbench.vgen import vgen_suite
-from repro.evalbench.passk import pass_at_k, pass_at_k_from_counts, pass_rate
+from repro.evalbench.passk import pass_at_k, pass_at_k_from_counts, pass_at_k_single, pass_rate
 from repro.evalbench.syntax_eval import check_design_compiles
 from repro.evalbench.functional import check_design_functional, check_designs_functional
 from repro.evalbench.speed import (
@@ -30,7 +30,7 @@ from repro.evalbench.throughput import (
     measure_serving_throughput,
     measure_streaming_throughput,
 )
-from repro.evalbench.runner import EvaluationRunner, QualityReport
+from repro.evalbench.runner import EvaluationRunner, PromptEvaluation, QualityReport
 
 __all__ = [
     "Problem",
@@ -39,6 +39,7 @@ __all__ = [
     "vgen_suite",
     "pass_at_k",
     "pass_at_k_from_counts",
+    "pass_at_k_single",
     "pass_rate",
     "check_design_compiles",
     "check_design_functional",
@@ -57,5 +58,6 @@ __all__ = [
     "measure_serving_throughput",
     "measure_streaming_throughput",
     "EvaluationRunner",
+    "PromptEvaluation",
     "QualityReport",
 ]

@@ -4,6 +4,12 @@
 and IV-B.2): for each benchmark prompt it samples ``n`` responses spread over a
 set of temperatures, grades every response for syntax and functional
 correctness, and aggregates pass@k (k in {1, 5, 10}) plus Pass Rate.
+
+Passing ``grammar="verilog"`` runs the whole evaluation in constrained mode
+(:mod:`repro.constrained`): every sample is decoded under the syntax mask, so
+syntax pass@1 is 1.0 by construction, and the report additionally carries the
+verified-position totals (actual vs. what the same steps would have verified
+unpruned) — the token-savings side of the constrained-decoding trade.
 """
 
 from __future__ import annotations
@@ -11,7 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
-from repro.core.decoding import SpeculativeDecoder
+from repro.core.decoding import DecodeResult, SpeculativeDecoder
 from repro.evalbench.functional import check_designs_functional
 from repro.evalbench.passk import pass_at_k, pass_rate
 from repro.evalbench.problems import Problem, ProblemSuite
@@ -26,8 +32,20 @@ class PromptEvaluation:
 
     problem_name: str
     samples: List[str] = field(default_factory=list)
+    #: Per-sample parse outcome (the design alone is valid Verilog) — the
+    #: property constrained decoding guarantees.  ``syntax_flags`` is the
+    #: stricter compile check (design + testbench elaborate together).
+    parse_flags: List[bool] = field(default_factory=list)
     syntax_flags: List[bool] = field(default_factory=list)
     functional_flags: List[bool] = field(default_factory=list)
+    #: Verification-forward positions actually computed across this prompt's
+    #: samples, and what the same steps would have computed without the
+    #: grammar pre-filter (equal when unconstrained) — see
+    #: :attr:`repro.core.decoding.DecodeResult.tokens_verified_unpruned`.
+    tokens_verified: int = 0
+    tokens_verified_unpruned: int = 0
+    #: Grammar-closure tokens appended across this prompt's samples.
+    closure_tokens: int = 0
 
 
 @dataclass
@@ -43,6 +61,17 @@ class QualityReport:
     syntax_pass_rate: float
     function_pass_rate: float
     prompt_results: List[PromptEvaluation] = field(default_factory=list)
+    #: Grammar the samples were decoded under (None = unconstrained).
+    grammar: Optional[str] = None
+    #: Parse-level pass@k / Pass Rate (design-only syntax validity).  This is
+    #: the column constrained decoding drives to 1.0 by construction; the
+    #: ``syntax_*`` fields additionally require testbench elaboration.
+    parse_pass_at_k: Dict[int, float] = field(default_factory=dict)
+    parse_pass_rate: float = 0.0
+    #: Suite-wide verification-position totals (see :class:`PromptEvaluation`).
+    tokens_verified: int = 0
+    tokens_verified_unpruned: int = 0
+    closure_tokens: int = 0
 
     def row(self, metric: str = "function") -> Dict[str, float]:
         """One Table-I-style row: pass@1/5/10 plus Pass Rate, in percent."""
@@ -54,6 +83,17 @@ class QualityReport:
             "pass@10": 100.0 * source.get(10, 0.0),
             "pass_rate": 100.0 * rate,
         }
+
+    @property
+    def verified_savings_ratio(self) -> float:
+        """Fraction of verification positions the grammar pre-filter saved.
+
+        ``1 - verified / unpruned`` over the suite; 0.0 for unconstrained
+        runs (the totals coincide) and whenever nothing was verified.
+        """
+        if self.tokens_verified_unpruned <= 0:
+            return 0.0
+        return 1.0 - self.tokens_verified / self.tokens_verified_unpruned
 
 
 class EvaluationRunner:
@@ -67,7 +107,14 @@ class EvaluationRunner:
         max_new_tokens: int = 160,
         k_values: Sequence[int] = (1, 5, 10),
         sim_backend: str = DEFAULT_BACKEND,
+        grammar: Optional[str] = None,
+        strict_pass_k: bool = False,
     ) -> None:
+        """``grammar`` selects constrained decoding for every sample (see the
+        module docstring); ``strict_pass_k`` makes a ``k`` in ``k_values``
+        larger than ``samples_per_prompt`` raise instead of warn-and-clamp
+        (:func:`repro.evalbench.passk.pass_at_k_single`), so a benchmark run
+        fails fast on a mislabeled pass@k column."""
         if sim_backend not in BACKENDS:
             raise ValueError(f"unknown simulation backend {sim_backend!r} (choose from {sorted(BACKENDS)})")
         self.decoder = decoder
@@ -76,27 +123,47 @@ class EvaluationRunner:
         self.max_new_tokens = max_new_tokens
         self.k_values = list(k_values)
         self.sim_backend = sim_backend
+        self.grammar = grammar
+        self.strict_pass_k = strict_pass_k
+        if strict_pass_k:
+            oversized = [k for k in self.k_values if k > samples_per_prompt]
+            if oversized:
+                raise ValueError(
+                    f"k_values {oversized} exceed samples_per_prompt={samples_per_prompt} under strict_pass_k"
+                )
 
-    def generate_samples(self, problem: Problem) -> List[str]:
-        """Generate ``samples_per_prompt`` candidate designs for ``problem``."""
-        samples: List[str] = []
+    def generate_results(self, problem: Problem) -> List[DecodeResult]:
+        """Decode ``samples_per_prompt`` results for ``problem`` (full records)."""
+        results: List[DecodeResult] = []
         for index in range(self.samples_per_prompt):
             temperature = self.temperatures[index % len(self.temperatures)]
             if index == 0:
-                config = GenerationConfig.greedy_config(self.max_new_tokens)
+                config = GenerationConfig.greedy_config(self.max_new_tokens, grammar=self.grammar)
             else:
-                config = GenerationConfig.sampling_config(temperature, self.max_new_tokens, seed=index)
-            result = self.decoder.generate_from_text(problem.prompt, config)
-            samples.append(result.code)
-        return samples
+                config = GenerationConfig.sampling_config(
+                    temperature, self.max_new_tokens, seed=index, grammar=self.grammar
+                )
+            results.append(self.decoder.generate_from_text(problem.prompt, config))
+        return results
+
+    def generate_samples(self, problem: Problem) -> List[str]:
+        """Generate ``samples_per_prompt`` candidate designs for ``problem``."""
+        return [result.code for result in self.generate_results(problem)]
 
     def evaluate_problem(self, problem: Problem, samples: Optional[List[str]] = None) -> PromptEvaluation:
         """Grade (and if needed generate) samples for one problem."""
+        results: List[DecodeResult] = []
         if samples is None:
-            samples = self.generate_samples(problem)
+            results = self.generate_results(problem)
+            samples = [result.code for result in results]
         evaluation = PromptEvaluation(problem_name=problem.name, samples=samples)
+        for result in results:
+            evaluation.tokens_verified += result.tokens_verified
+            evaluation.tokens_verified_unpruned += result.tokens_verified_unpruned
+            evaluation.closure_tokens += result.closure_tokens
         for design in samples:
             syntax = check_design_compiles(design, problem.testbench)
+            evaluation.parse_flags.append(syntax.parses)
             evaluation.syntax_flags.append(syntax.compiles)
         # Grade all compiling samples in one call: with the compiled backend
         # they share a single vectorized sweep of the problem's testbench.
@@ -110,6 +177,7 @@ class EvaluationRunner:
         """Evaluate every problem in ``suite`` and aggregate the metrics."""
         selected = list(problems) if problems is not None else list(suite)
         prompt_results = [self.evaluate_problem(problem) for problem in selected]
+        parse_matrix = [p.parse_flags for p in prompt_results]
         syntax_matrix = [p.syntax_flags for p in prompt_results]
         function_matrix = [p.functional_flags for p in prompt_results]
         return QualityReport(
@@ -117,9 +185,15 @@ class EvaluationRunner:
             label=label,
             num_prompts=len(selected),
             samples_per_prompt=self.samples_per_prompt,
-            syntax_pass_at_k={k: pass_at_k(syntax_matrix, k) for k in self.k_values},
-            function_pass_at_k={k: pass_at_k(function_matrix, k) for k in self.k_values},
+            syntax_pass_at_k={k: pass_at_k(syntax_matrix, k, strict=self.strict_pass_k) for k in self.k_values},
+            function_pass_at_k={k: pass_at_k(function_matrix, k, strict=self.strict_pass_k) for k in self.k_values},
             syntax_pass_rate=pass_rate(syntax_matrix),
             function_pass_rate=pass_rate(function_matrix),
             prompt_results=prompt_results,
+            grammar=self.grammar,
+            parse_pass_at_k={k: pass_at_k(parse_matrix, k, strict=self.strict_pass_k) for k in self.k_values},
+            parse_pass_rate=pass_rate(parse_matrix),
+            tokens_verified=sum(p.tokens_verified for p in prompt_results),
+            tokens_verified_unpruned=sum(p.tokens_verified_unpruned for p in prompt_results),
+            closure_tokens=sum(p.closure_tokens for p in prompt_results),
         )

@@ -9,7 +9,7 @@ greedy decoding and via a seeded random generator for temperature sampling.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Dict, Optional
 
 import numpy as np
 
@@ -26,6 +26,13 @@ class GenerationConfig:
     (:mod:`repro.core.token_tree`).  Committed tokens are identical either
     way; the tree simply verifies fewer positions whenever candidates share
     a prefix.  Ignored by plain next-token prediction.
+
+    ``grammar`` selects grammar-constrained decoding
+    (:mod:`repro.constrained`): ``"verilog"`` masks every sampled token so
+    the generated code stays a viable Verilog prefix and prunes speculative
+    candidates at their first violation before verification.  ``None`` (the
+    default) is strictly unconstrained — the decode paths treat an absent
+    mask as a no-op, so existing configs keep byte-identical outputs.
     """
 
     max_new_tokens: int = 192
@@ -34,18 +41,51 @@ class GenerationConfig:
     greedy: bool = True
     seed: int = 0
     tree_verify: bool = False
+    grammar: Optional[str] = None
 
     @classmethod
-    def greedy_config(cls, max_new_tokens: int = 192, tree_verify: bool = False) -> "GenerationConfig":
-        return cls(max_new_tokens=max_new_tokens, temperature=0.0, greedy=True, tree_verify=tree_verify)
+    def greedy_config(
+        cls, max_new_tokens: int = 192, tree_verify: bool = False, grammar: Optional[str] = None
+    ) -> "GenerationConfig":
+        return cls(max_new_tokens=max_new_tokens, temperature=0.0, greedy=True, tree_verify=tree_verify, grammar=grammar)
 
     @classmethod
     def sampling_config(
-        cls, temperature: float = 0.8, max_new_tokens: int = 192, seed: int = 0, tree_verify: bool = False
+        cls,
+        temperature: float = 0.8,
+        max_new_tokens: int = 192,
+        seed: int = 0,
+        tree_verify: bool = False,
+        grammar: Optional[str] = None,
     ) -> "GenerationConfig":
         return cls(
-            max_new_tokens=max_new_tokens, temperature=temperature, greedy=False, seed=seed, tree_verify=tree_verify
+            max_new_tokens=max_new_tokens,
+            temperature=temperature,
+            greedy=False,
+            seed=seed,
+            tree_verify=tree_verify,
+            grammar=grammar,
         )
+
+
+#: Fallback generators for ``sample_from_logits(rng=None)``, one per seed.
+#: A fresh ``default_rng(seed)`` per call would hand every position the same
+#: generator state, collapsing "temperature sampling" into a deterministic
+#: per-logits map; keeping the generator alive across calls restores an
+#: actual random stream while staying reproducible per seed.
+_FALLBACK_RNGS: Dict[int, np.random.Generator] = {}
+
+
+def reset_fallback_rngs() -> None:
+    """Drop the per-seed fallback generators (tests use this for isolation)."""
+    _FALLBACK_RNGS.clear()
+
+
+def _fallback_rng(seed: int) -> np.random.Generator:
+    generator = _FALLBACK_RNGS.get(seed)
+    if generator is None:
+        generator = _FALLBACK_RNGS[seed] = np.random.default_rng(seed)
+    return generator
 
 
 def sample_from_logits(
@@ -64,14 +104,29 @@ def sample_from_logits(
         config: decoding configuration; ``top_k`` larger than the vocabulary
             is clamped to ``V`` (i.e. no truncation), matching
             :func:`top_k_token_ids`.
-        rng: seeded generator for sampling; defaults to one seeded from
-            ``config.seed``.
+        rng: seeded generator for sampling; defaults to a persistent
+            per-``config.seed`` generator whose state advances across calls
+            (a fresh generator per call would make every position draw from
+            identical state — the decode loops thread their own generator,
+            but the fallback must not silently de-randomise direct callers).
 
     Returns:
         The chosen token id.
     """
     if config.greedy or config.temperature <= 0.0:
         return int(np.argmax(logits))
+    probabilities = sampling_probabilities(logits, config)
+    generator = rng if rng is not None else _fallback_rng(config.seed)
+    return int(generator.choice(len(probabilities), p=probabilities))
+
+
+def sampling_probabilities(logits: np.ndarray, config: GenerationConfig) -> np.ndarray:
+    """The temperature/top-k sampling distribution of :func:`sample_from_logits`.
+
+    Exposed so grammar-constrained sampling (:func:`repro.constrained.mask
+    .masked_choice`) can draw from exactly the distribution unconstrained
+    sampling uses — the identity guarantee when the mask never intervenes.
+    """
     scaled = logits / max(config.temperature, 1e-6)
     if config.top_k and config.top_k > 0:
         top_k = min(config.top_k, scaled.shape[-1])
@@ -80,9 +135,7 @@ def sample_from_logits(
             mask = np.full_like(scaled, -np.inf)
             mask[top_indices] = scaled[top_indices]
             scaled = mask
-    probabilities = softmax(scaled)
-    generator = rng if rng is not None else np.random.default_rng(config.seed)
-    return int(generator.choice(len(probabilities), p=probabilities))
+    return softmax(scaled)
 
 
 def top_k_token_ids(logits: np.ndarray, k: int) -> np.ndarray:

@@ -78,6 +78,7 @@ from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
+from repro.constrained.mask import closure_token_ids, grammar_mask, masked_sample
 from repro.core.acceptance import TypicalAcceptance
 from repro.core.decoding import (
     DecodeResult,
@@ -93,10 +94,11 @@ from repro.core.decoding import (
 from repro.core.token_tree import (
     TokenTree,
     pad_tree_tokens,
+    prefilter_candidates,
     tree_bias_cached,
     tree_position_offsets,
 )
-from repro.models.generation import GenerationConfig, sample_from_logits
+from repro.models.generation import GenerationConfig
 from repro.models.medusa import MedusaLM
 from repro.nn.kv_cache import KVCache
 from repro.nn.kv_pool import KVBlockPool, PagedKVCache
@@ -685,6 +687,9 @@ class ServingEngine:
         for state in self.scheduler.admit(**self._admission_kwargs()):
             state.started_at = time.perf_counter()
             prompt = state.request.prompt_ids
+            # Built before the budget check so even a prompt-overflow finish
+            # runs the grammar closure, exactly like sequential generate.
+            state.grammar_mask = grammar_mask(state.request.config.grammar, self.tokenizer)
             if decoder_budget_exceeded(len(prompt), 0, 1, self.max_seq_len):
                 # The prompt already fills the context window: finish with an
                 # empty output, exactly like sequential generate.
@@ -787,7 +792,9 @@ class ServingEngine:
         commit_time = time.perf_counter()
         for row, state in enumerate(self._active):
             config = state.request.config
-            token = sample_from_logits(state.last_base, config, state.rng)
+            token = masked_sample(state.last_base, config, state.rng, state.grammar_mask)
+            if state.grammar_mask is not None:
+                state.grammar_mask.advance(token)
             state.record_commit([token], commit_time)
             state.step_records.append(StepRecord(proposed=1, accepted=1, committed=1, ends_at_boundary=True))
             if token == self.eos_id:
@@ -819,6 +826,7 @@ class ServingEngine:
         prefix_lens = self._cache.lengths
         all_candidates: List[List[List[int]]] = []
         request_widths: List[int] = []
+        unpruned_counts: List[Optional[int]] = []
         for state in active:
             config = state.request.config
             candidates = propose_candidates(
@@ -828,11 +836,24 @@ class ServingEngine:
                 state.rng,
                 num_candidates=self.num_candidates,
                 max_heads=self.max_speculative_heads,
+                mask=state.grammar_mask,
             )
             extra = max_step_extra(
                 state.prompt_len, len(state.output_ids), state.remaining_tokens, self.max_seq_len
             )
             candidates = dedupe_candidates([c[:extra] for c in candidates])
+            if state.grammar_mask is not None:
+                # Like-for-like savings baseline: what this request's own
+                # verification accounting would charge for the unfiltered set
+                # (its tree's node count, or its rows x its padded width).
+                if config.tree_verify:
+                    unpruned = TokenTree.from_candidates(candidates).size
+                else:
+                    unpruned = len(candidates) * max(len(c) for c in candidates)
+                unpruned_counts.append(unpruned)
+                candidates = dedupe_candidates(prefilter_candidates(candidates, state.grammar_mask))
+            else:
+                unpruned_counts.append(None)
             all_candidates.append(candidates)
             request_widths.append(max(len(c) for c in candidates))
 
@@ -841,7 +862,7 @@ class ServingEngine:
             # of one per candidate.  Requests that did not opt in ride along
             # as non-deduplicated forests (independent root chains), which
             # compute exactly what their row-batched layout computes.
-            self._verify_tree_step(active, prefix_lens, all_candidates)
+            self._verify_tree_step(active, prefix_lens, all_candidates, unpruned_counts)
             return
 
         # One shared verification forward: tile each request's cache row once
@@ -910,6 +931,9 @@ class ServingEngine:
                 greedy_argmax=greedy_argmax,
             )
             committed = len(best_tokens)
+            if state.grammar_mask is not None:
+                for token_id in best_tokens:
+                    state.grammar_mask.advance(token_id)
             state.record_commit(best_tokens, time.perf_counter())
             state.step_records.append(
                 StepRecord(
@@ -921,6 +945,7 @@ class ServingEngine:
                     # (cross-request window padding is a batching artifact and
                     # is not charged to the request).
                     verified=len(candidates) * request_widths[index],
+                    verified_unpruned=unpruned_counts[index],
                 )
             )
             if self.eos_id in best_tokens:
@@ -956,6 +981,7 @@ class ServingEngine:
         active: List[RequestState],
         prefix_lens: np.ndarray,
         all_candidates: List[List[List[int]]],
+        unpruned_counts: Optional[List[Optional[int]]] = None,
     ) -> None:
         """Verify one token tree per in-flight request inside one shared forward.
 
@@ -1025,6 +1051,9 @@ class ServingEngine:
                 greedy_argmax=greedy_argmax,
             )
             committed = len(best_tokens)
+            if state.grammar_mask is not None:
+                for token_id in best_tokens:
+                    state.grammar_mask.advance(token_id)
             state.record_commit(best_tokens, time.perf_counter())
             # Requests that did not opt into trees ride along as forests, but
             # their *stats* keep the row-batched accounting (their own rows x
@@ -1042,6 +1071,7 @@ class ServingEngine:
                     committed=committed,
                     ends_at_boundary=best_tokens[-1] in (self.frag_id, self.eos_id),
                     verified=verified,
+                    verified_unpruned=None if unpruned_counts is None else unpruned_counts[index],
                 )
             )
             if self.eos_id in best_tokens:
@@ -1104,6 +1134,15 @@ class ServingEngine:
         :meth:`cancel` already removed it (and must not have its ``CANCELLED``
         status overwritten by the scheduler's ``FINISHED`` transition).
         """
+        if state.grammar_mask is not None and state.status is not RequestStatus.CANCELLED:
+            # Budget ran out mid-module: commit the grammar closure through
+            # record_commit so streaming consumers observe exactly the tokens
+            # the batch result reports (byte-identity between the two paths).
+            # Cancelled requests freeze their partial output untouched.
+            closure = closure_token_ids(state.grammar_mask, self.tokenizer)
+            if closure:
+                state.record_commit(closure, time.perf_counter())
+                state.closure_tokens = len(closure)
         state.finished_at = time.perf_counter()
         if release:
             self.scheduler.release(state)

@@ -162,6 +162,14 @@ class RequestState:
     #: Per-request random generator, seeded from ``config.seed`` exactly like
     #: the sequential decoder so sampling runs are reproducible.
     rng: Optional[np.random.Generator] = None
+    #: Per-request grammar mask (:class:`repro.constrained.mask
+    #: .SyntaxMaskState`) built at admission from ``config.grammar``; ``None``
+    #: for unconstrained requests, and every engine call site treats an
+    #: absent mask as a strict no-op.
+    grammar_mask: Optional[object] = None
+    #: Trailing tokens appended by the grammar closure at finish (see
+    #: :attr:`~repro.core.decoding.DecodeResult.closure_tokens`).
+    closure_tokens: int = 0
 
     @property
     def prompt_len(self) -> int:
@@ -247,4 +255,5 @@ class RequestState:
             prefill_seconds=self.prefill_seconds,
             prompt_tokens_reused=self.tokens_reused,
             cancelled=self.status is RequestStatus.CANCELLED,
+            closure_tokens=self.closure_tokens,
         )

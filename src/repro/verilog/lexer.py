@@ -243,7 +243,10 @@ class Lexer:
             if self._peek().lower() == "s":
                 self._advance()
             base = self._peek().lower()
-            if base not in "bodh":
+            # ``not base`` guards end-of-input: ``""`` is a substring of
+            # ``"bodh"``, so the containment check alone would fall through
+            # and crash on the dict lookup below.
+            if not base or base not in "bodh":
                 raise self._error(f"invalid number base {base!r}")
             self._advance()
             valid = {

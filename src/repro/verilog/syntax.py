@@ -45,4 +45,12 @@ def check_syntax(source: str) -> SyntaxCheckResult:
         tree = parse_source(source)
     except (ParseError, LexerError, RecursionError) as exc:
         return SyntaxCheckResult(ok=False, errors=[str(exc)])
+    if not tree.modules:
+        # A syntactically "valid" candidate with no module is useless to the
+        # refinement pipeline and the pass@k grader: a comment-only or
+        # directive-only sample must not count as passing.  The parser
+        # already rejects module-free sources, but the grading contract
+        # (>= 1 module) is enforced here too so it cannot silently regress
+        # if the parser ever grows a laxer entry point.
+        return SyntaxCheckResult(ok=False, errors=["source contains no modules"])
     return SyntaxCheckResult(ok=True, ast=tree, module_names=[m.name for m in tree.modules])
