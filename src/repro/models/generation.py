@@ -39,7 +39,13 @@ class GenerationConfig:
     temperature: float = 0.0
     top_k: int = 0
     greedy: bool = True
-    seed: int = 0
+    #: Sampling seed.  ``None`` asks the serving engine to derive a seed from
+    #: the request id (:func:`repro.serving.request.derive_request_rng`) so
+    #: concurrent requests draw independent streams yet resubmission — e.g.
+    #: a router requeue after a worker crash — replays identical tokens.
+    #: Direct ``sample_from_logits`` callers passing ``seed=None`` fall back
+    #: to a fresh OS-entropy stream (non-reproducible, like numpy itself).
+    seed: Optional[int] = 0
     tree_verify: bool = False
     grammar: Optional[str] = None
 
@@ -68,12 +74,13 @@ class GenerationConfig:
         )
 
 
-#: Fallback generators for ``sample_from_logits(rng=None)``, one per seed.
+#: Fallback generators for ``sample_from_logits(rng=None)``, one per seed
+#: (``None`` keys a single shared OS-entropy generator).
 #: A fresh ``default_rng(seed)`` per call would hand every position the same
 #: generator state, collapsing "temperature sampling" into a deterministic
 #: per-logits map; keeping the generator alive across calls restores an
 #: actual random stream while staying reproducible per seed.
-_FALLBACK_RNGS: Dict[int, np.random.Generator] = {}
+_FALLBACK_RNGS: Dict[Optional[int], np.random.Generator] = {}
 
 
 def reset_fallback_rngs() -> None:
@@ -81,7 +88,7 @@ def reset_fallback_rngs() -> None:
     _FALLBACK_RNGS.clear()
 
 
-def _fallback_rng(seed: int) -> np.random.Generator:
+def _fallback_rng(seed: Optional[int]) -> np.random.Generator:
     generator = _FALLBACK_RNGS.get(seed)
     if generator is None:
         generator = _FALLBACK_RNGS[seed] = np.random.default_rng(seed)

@@ -23,14 +23,31 @@ throughput-oriented engine:
 * :mod:`repro.serving.server` — :class:`AsyncServingEngine`, the asyncio
   streaming front-end: per-request :class:`StreamHandle` with
   ``async for burst in handle.stream()``, cooperative cancellation and
-  per-request deadlines, driving the engine loop on a background thread.
+  per-request deadlines, driving the engine loop on a background thread;
+* :mod:`repro.serving.messages` / :mod:`repro.serving.control` — the
+  plain-data command/reply vocabulary and the :class:`EngineControl` that
+  answers it, splitting the engine into a pure execution core
+  (:mod:`repro.serving.engine_core`) and transports that drive it;
+* :mod:`repro.serving.worker` / :mod:`repro.serving.router` — multi-process
+  sharding: :class:`EngineWorker` replicas each running one engine-core
+  behind a pipe, supervised by a :class:`Router` with prefix-affinity
+  routing, crash restart and deterministic requeue.
 
-See ``docs/serving.md`` and ``docs/streaming.md`` for the design discussion.
+See ``docs/serving.md``, ``docs/streaming.md`` and ``docs/sharding.md`` for
+the design discussion.
 """
 
+from repro.serving.control import EngineControl
 from repro.serving.engine import ServingEngine
+from repro.serving.engine_core import EngineCore
 from repro.serving.prefix_cache import PrefixCache, PrefixCacheStats
-from repro.serving.request import GenerationRequest, RequestState, RequestStatus
+from repro.serving.request import (
+    GenerationRequest,
+    RequestState,
+    RequestStatus,
+    derive_request_rng,
+)
+from repro.serving.router import Router, RouterConfig, RouterRequest
 from repro.serving.scheduler import PriorityConfig, Scheduler, SchedulerConfig
 from repro.serving.server import (
     AsyncServingEngine,
@@ -38,9 +55,13 @@ from repro.serving.server import (
     RequestDeadlineExceeded,
     StreamHandle,
 )
+from repro.serving.worker import EngineWorker, WorkerSpec, engine_from_pipeline, save_pipeline
 
 __all__ = [
     "AsyncServingEngine",
+    "EngineControl",
+    "EngineCore",
+    "EngineWorker",
     "GenerationRequest",
     "PrefixCache",
     "PrefixCacheStats",
@@ -49,8 +70,15 @@ __all__ = [
     "RequestDeadlineExceeded",
     "RequestState",
     "RequestStatus",
+    "Router",
+    "RouterConfig",
+    "RouterRequest",
     "Scheduler",
     "SchedulerConfig",
     "ServingEngine",
     "StreamHandle",
+    "WorkerSpec",
+    "derive_request_rng",
+    "engine_from_pipeline",
+    "save_pipeline",
 ]

@@ -25,6 +25,7 @@ tokens byte-identical to the batch ``result()`` path.
 from __future__ import annotations
 
 import enum
+import hashlib
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Tuple
 
@@ -33,6 +34,28 @@ import numpy as np
 from repro.core.decoding import DecodeResult, StepRecord
 from repro.models.generation import GenerationConfig
 from repro.nn.kv_cache import KVCache
+
+
+def derive_request_rng(request: "GenerationRequest") -> np.random.Generator:
+    """Per-request random generator, reproducible under any placement.
+
+    ``config.seed`` set (the default, 0) seeds the generator directly —
+    byte-identical to the sequential decoder, which is what the
+    engine-vs-``SpeculativeDecoder.generate`` identity tests pin down.
+
+    ``config.seed=None`` derives the seed from SHA-256 of the *request id*
+    instead.  That keeps concurrent sampling requests statistically
+    independent (they no longer share one seed's stream) while staying fully
+    deterministic: resubmitting the same request id — on any worker, in any
+    batch, or after a worker crash — replays the exact same sampled tokens,
+    which is what lets the router requeue in-flight requests without
+    re-streaming different output.
+    """
+    seed = request.config.seed
+    if seed is None:
+        digest = hashlib.sha256(request.request_id.encode("utf-8")).digest()
+        seed = int.from_bytes(digest[:8], "big")
+    return np.random.default_rng(seed)
 
 
 class RequestStatus(enum.Enum):

@@ -7,25 +7,44 @@ background thread and exposes each request as a :class:`StreamHandle` whose
 moment the engine commits them — one burst per speculative step (one token
 per burst under NTP), which is exactly the unit the paper's decoder produces.
 
+Since the multi-process sharding refactor, the server does not touch engine
+internals at all: it drives an
+:class:`~repro.serving.control.EngineControl` with the plain-data commands of
+:mod:`repro.serving.messages` (``SubmitCommand``/``StepCommand``/
+``CancelCommand``) and fans the returned :class:`CommitEvent` /
+:class:`FinishedEvent` streams out to the handles.  A
+:class:`~repro.serving.worker.EngineWorker` process answers the identical
+messages over a pipe, which is why in-process streaming and routed serving
+produce byte-identical token streams.
+
 Design rules:
 
-* **Observation only.**  Streaming attaches listeners to the request's
-  commit funnel (:meth:`~repro.serving.request.RequestState.record_commit`);
-  it never changes what the engine computes.  The concatenation of streamed
-  bursts is therefore byte-identical to the batch ``result().token_ids`` for
-  every decode mode — asserted in ``tests/test_streaming.py``.
+* **Observation only.**  Streaming observes the engine's commit funnel
+  (via the control's buffered events); it never changes what the engine
+  computes.  The concatenation of streamed bursts is therefore
+  byte-identical to the batch ``result().token_ids`` for every decode mode —
+  asserted in ``tests/test_streaming.py``.
 * **One lock, two threads.**  The event loop submits/cancels under the same
   lock the step thread holds while stepping, so engine state is never
-  touched concurrently.  Listener callbacks run on the step thread and hand
-  bursts to the consumer with ``loop.call_soon_threadsafe`` — the only
-  asyncio API that is safe to call from outside the loop.
+  touched concurrently; event fan-out to handles also happens under that
+  lock, so bursts and completions reach each handle's queue in commit order.
+  Handles receive them with ``loop.call_soon_threadsafe`` — the only asyncio
+  API that is safe to call from outside the loop.  The handle registry has
+  its own small lock: handles register on the loop thread and are read by
+  the step thread's crash fan-out, and fencing the registry separately keeps
+  registration from ever waiting out a whole engine step.
 * **Cooperative cancellation.**  ``handle.cancel()`` (or a per-request
-  ``deadline=``) routes to :meth:`ServingEngine.cancel`, which frees the
-  request's scheduler budget, prefix-cache retention copy and shared-cache
-  row in the same step.  A cancelled request's ``result()`` raises
+  ``deadline=``) routes to the engine's cancel, which frees the request's
+  scheduler budget, prefix-cache retention copy and shared-cache row in the
+  same step.  A cancelled request's ``result()`` raises
   :class:`RequestCancelled` (or :class:`RequestDeadlineExceeded`) carrying
   the partial result; its stream raises too — unless the cancellation came
   from this very handle, in which case the stream just ends.
+* **Explicit shutdown.**  ``async with`` (or :meth:`close`) joins the step
+  thread and settles every pending handle; the synchronous :meth:`shutdown`
+  (or plain ``with``) does the same without needing a running event loop.
+  Nothing relies on daemon-thread teardown at interpreter exit — a server
+  dropped without closing leaves consumers unblocked, not hanging.
 
 Typical use::
 
@@ -43,12 +62,21 @@ from __future__ import annotations
 
 import asyncio
 import threading
-from typing import AsyncIterator, List, Optional, Sequence
+from typing import AsyncIterator, Dict, List, Optional, Sequence
 
 from repro.core.decoding import DecodeResult
 from repro.models.generation import GenerationConfig
+from repro.serving.control import EngineControl
 from repro.serving.engine import ServingEngine
-from repro.serving.request import RequestState, RequestStatus
+from repro.serving.messages import (
+    CancelCommand,
+    CommitEvent,
+    FinishedEvent,
+    StepCommand,
+    SubmitCommand,
+    decode_result,
+    encode_config,
+)
 
 
 class RequestCancelled(Exception):
@@ -105,20 +133,33 @@ class StreamHandle:
         #: Caller-visible id of the underlying engine request.
         self.request_id = request_id
 
-    # -- engine-thread side (listener callbacks) -------------------------- #
+    # -- engine-thread side (event fan-out) -------------------------------- #
+
+    def _deliver(self, callback, *args) -> None:
+        """Engine thread → loop thread handoff.
+
+        Falls back to calling in place when the loop is already closed (a
+        synchronous :meth:`AsyncServingEngine.shutdown` after ``asyncio.run``
+        returned): the handle still settles, so ``done`` and the stored
+        result/error stay observable instead of the handle dangling forever.
+        """
+        try:
+            self._loop.call_soon_threadsafe(callback, *args)
+        except RuntimeError:
+            callback(*args)
 
     def _on_commit(self, burst: List[int]) -> None:
-        # Engine thread → loop thread handoff; put_nowait never blocks on an
-        # unbounded queue, so the engine step is not delayed by consumers.
-        self._loop.call_soon_threadsafe(self._queue.put_nowait, burst)
+        # put_nowait never blocks on an unbounded queue, so the engine step
+        # is not delayed by consumers.
+        self._deliver(self._queue.put_nowait, burst)
 
-    def _on_done(self, state: RequestState) -> None:
-        result = self._server.engine.result(state.request.request_id)
+    def _on_finished(self, event: FinishedEvent) -> None:
+        result = decode_result(event.result)
         error: Optional[RequestCancelled] = None
-        if state.status is RequestStatus.CANCELLED:
-            exc_type = RequestDeadlineExceeded if state.timed_out else RequestCancelled
-            error = exc_type(state.request.request_id, result)
-        self._loop.call_soon_threadsafe(self._settle, result, error)
+        if event.cancelled:
+            exc_type = RequestDeadlineExceeded if event.timed_out else RequestCancelled
+            error = exc_type(event.request_id, result)
+        self._deliver(self._settle, result, error)
 
     # -- loop side --------------------------------------------------------- #
 
@@ -127,8 +168,8 @@ class StreamHandle:
         self._error = error
         self._done.set()
         self._queue.put_nowait(_DONE)
-        # Settled handles leave the server's in-flight list immediately — a
-        # long-lived server must not retain every result it ever produced.
+        # Settled handles leave the server's in-flight registry immediately —
+        # a long-lived server must not retain every result it ever produced.
         self._server._discard(self)
 
     def _fail(self, error: BaseException) -> None:
@@ -233,21 +274,31 @@ class AsyncServingEngine:
             latency on an idle server.
 
     Use as an async context manager (``async with AsyncServingEngine(...)``),
-    or call :meth:`start` / :meth:`close` explicitly.
+    a synchronous one (``with`` — start/shutdown), or call
+    :meth:`start` / :meth:`close` / :meth:`shutdown` explicitly.
     """
 
     def __init__(self, engine: ServingEngine, poll_interval: float = 0.001) -> None:
         if poll_interval <= 0:
             raise ValueError(f"poll_interval must be positive, got {poll_interval}")
         self.engine = engine
+        #: The message surface this server actually drives; results stay
+        #: retained on the engine (``forget_on_done=False``) so synchronous
+        #: ``engine.result()``/``stream_metrics()`` keep working afterwards.
+        self.control = EngineControl(engine, forget_on_done=False)
         self.poll_interval = poll_interval
         #: Serialises every engine touch: the step thread holds it per step,
         #: submit/cancel take it from the event loop.
         self._lock = threading.Lock()
         self._stop = threading.Event()
         self._thread: Optional[threading.Thread] = None
-        #: In-flight handles only; settled handles drop out immediately.
-        self._handles: List[StreamHandle] = []
+        #: In-flight handles by request id; settled handles drop out
+        #: immediately.  Guarded by ``_registry_lock`` — the loop thread
+        #: registers/discards while the step thread reads for event fan-out,
+        #: and before this fence the crash fan-out iterated a list the loop
+        #: thread was mutating.
+        self._registry: Dict[str, StreamHandle] = {}
+        self._registry_lock = threading.Lock()
         #: The exception that killed the step thread, if one did.
         self._crashed: Optional[BaseException] = None
 
@@ -257,6 +308,12 @@ class AsyncServingEngine:
     def running(self) -> bool:
         """True while the background step thread is alive."""
         return self._thread is not None and self._thread.is_alive()
+
+    @property
+    def _handles(self) -> List[StreamHandle]:
+        """Snapshot of the in-flight handles (registration order)."""
+        with self._registry_lock:
+            return list(self._registry.values())
 
     def start(self) -> None:
         """Start the background step thread (idempotent while running).
@@ -281,26 +338,54 @@ class AsyncServingEngine:
         that no longer steps.  Pass False to leave engine state untouched —
         the caller can then drive ``engine.run()`` synchronously.
         """
-        self._stop.set()
-        thread = self._thread
+        thread = self._prepare_stop()
         if thread is not None:
             # Join off the event loop so a long in-flight step cannot block it.
             await asyncio.get_running_loop().run_in_executor(None, thread.join)
-            self._thread = None
         if cancel_pending:
-            with self._lock:
-                for handle in self._handles:
-                    # Skip handles whose own cancel is already in flight —
-                    # resetting their flag here would turn the documented
-                    # quiet stream end into a surprise RequestCancelled.
-                    if not handle.done and not handle._cancel_requested:
-                        self.engine.cancel(handle.request_id)
+            self._cancel_pending()
             # The cancellations above settle their handles via call_soon;
             # yield once so those callbacks run before we prune, otherwise a
             # repeatedly start()/close()d server retains every handle it ever
             # cancelled at close.
             await asyncio.sleep(0)
-        self._handles = [handle for handle in self._handles if not handle.done]
+        self._prune_settled()
+
+    def shutdown(self, cancel_pending: bool = True) -> None:
+        """Synchronous :meth:`close`: join the step thread, settle pending handles.
+
+        For non-async callers — and for teardown paths where the event loop
+        already exited: handles whose loop is closed are settled in place
+        (their ``done``/``result`` state stays observable) instead of being
+        stranded on a server that no longer steps.  Safe to call repeatedly,
+        from ``with``-statement exit, or after :meth:`close`.
+        """
+        thread = self._prepare_stop()
+        if thread is not None:
+            thread.join()
+        if cancel_pending:
+            self._cancel_pending()
+        self._prune_settled()
+
+    def _prepare_stop(self) -> Optional[threading.Thread]:
+        """Signal the step loop to exit; return the thread to join (if any)."""
+        self._stop.set()
+        thread, self._thread = self._thread, None
+        return thread
+
+    def _cancel_pending(self) -> None:
+        """Cancel every in-flight request whose handle has not settled yet."""
+        with self._lock:
+            # Skip handles whose own cancel is already in flight — resetting
+            # their flag here would turn the documented quiet stream end into
+            # a surprise RequestCancelled.
+            pending = [h for h in self._handles if not h.done and not h._cancel_requested]
+            for handle in pending:
+                self._drive_locked(CancelCommand(request_id=handle.request_id))
+
+    def _prune_settled(self) -> None:
+        with self._registry_lock:
+            self._registry = {rid: h for rid, h in self._registry.items() if not h.done}
 
     async def __aenter__(self) -> "AsyncServingEngine":
         self.start()
@@ -309,25 +394,72 @@ class AsyncServingEngine:
     async def __aexit__(self, exc_type, exc, tb) -> None:
         await self.close()
 
+    def __enter__(self) -> "AsyncServingEngine":
+        self.start()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.shutdown()
+
+    # -- the step loop and event fan-out ----------------------------------- #
+
     def _step_loop(self) -> None:
         while not self._stop.is_set():
             try:
                 with self._lock:
                     worked = self.engine.has_work
                     if worked:
-                        self.engine.step()
+                        self._drive_locked(StepCommand(max_steps=1))
+                    else:
+                        # Even idle, drain events a foreign path produced
+                        # (e.g. engine.cancel called directly under the lock)
+                        # so their handles settle without waiting for work.
+                        self._dispatch(*self.control.drain_events())
             except BaseException as error:  # noqa: BLE001 — must not die silently
                 # A crashed step thread must not strand consumers on
                 # stream()/result() forever: fail every in-flight handle
                 # with the original error and stop stepping.
                 self._crashed = error
-                for handle in list(self._handles):
-                    handle._loop.call_soon_threadsafe(handle._fail, error)
+                for handle in self._handles:
+                    handle._deliver(handle._fail, error)
                 return
             if not worked:
                 # Idle: nothing queued, prefilling or running.  Sleep on the
                 # stop event so close() wakes us immediately.
                 self._stop.wait(self.poll_interval)
+
+    def _drive_locked(self, command: object) -> object:
+        """Handle one control command and fan its events out (lock held).
+
+        Fan-out happens while the engine lock is still held, so every handle
+        observes commits and completions in exactly the order the engine
+        produced them — a cancel racing in from the loop thread cannot
+        interleave its settle between a step's burst and that burst's
+        delivery.
+        """
+        reply = self.control.handle(command)
+        # Step/drain replies carry their events; other commands (cancel, a
+        # foreign engine.cancel between steps) leave them in the control's
+        # buffer — take whichever place they landed.
+        commits = list(getattr(reply, "commits", []))
+        finished = list(getattr(reply, "finished", []))
+        buffered_commits, buffered_finished = self.control.drain_events()
+        self._dispatch(commits + buffered_commits, finished + buffered_finished)
+        return reply
+
+    def _dispatch(self, commits: List[CommitEvent], finished: List[FinishedEvent]) -> None:
+        for event in commits:
+            handle = self._lookup(event.request_id)
+            if handle is not None:
+                handle._on_commit(list(event.tokens))
+        for event in finished:
+            handle = self._lookup(event.request_id)
+            if handle is not None:
+                handle._on_finished(event)
+
+    def _lookup(self, request_id: str) -> Optional[StreamHandle]:
+        with self._registry_lock:
+            return self._registry.get(request_id)
 
     # -- submission -------------------------------------------------------- #
 
@@ -342,16 +474,23 @@ class AsyncServingEngine:
         """Queue a tokenized prompt; returns its :class:`StreamHandle`.
 
         Mirrors :meth:`ServingEngine.submit` (same validation, same
-        semantics for ``priority`` and ``deadline``); the listeners that feed
-        the handle are attached under the engine lock, before any step can
-        run, so the stream never misses a burst.  The lock is acquired on a
-        worker thread (the step thread may hold it for a whole engine step),
-        so awaiting ``submit`` never stalls the event loop — burst delivery
-        to other consumers continues while this submission waits its turn.
+        semantics for ``priority`` and ``deadline``); the handle is
+        registered under the engine lock, before any step can run, so the
+        stream never misses a burst.  The lock is acquired on a worker
+        thread (the step thread may hold it for a whole engine step), so
+        awaiting ``submit`` never stalls the event loop — burst delivery to
+        other consumers continues while this submission waits its turn.
         """
         if self._crashed is not None:
             raise RuntimeError("serving step thread crashed; build a fresh engine") from self._crashed
         loop = asyncio.get_running_loop()
+        command = SubmitCommand(
+            prompt_ids=[int(t) for t in prompt_ids],
+            config=None if config is None else encode_config(config),
+            request_id=request_id,
+            priority=priority,
+            deadline=deadline,
+        )
 
         def locked_submit() -> StreamHandle:
             with self._lock:
@@ -359,21 +498,19 @@ class AsyncServingEngine:
                     raise RuntimeError(
                         "serving step thread crashed; build a fresh engine"
                     ) from self._crashed
-                rid = self.engine.submit(prompt_ids, config, request_id, priority, deadline)
-                handle = StreamHandle(self, rid, loop)
-                self.engine.attach_listeners(rid, on_commit=handle._on_commit, on_done=handle._on_done)
+                reply = self.control.handle(command)
+                handle = StreamHandle(self, reply.request_id, loop)
+                with self._registry_lock:
+                    self._registry[reply.request_id] = handle
                 return handle
 
         handle = await loop.run_in_executor(None, locked_submit)
-        # A tiny request can settle (and self-discard) between the executor
-        # returning and this coroutine resuming; don't re-add it.
-        if not handle.done:
-            self._handles.append(handle)
-            if self._crashed is not None:
-                # The step thread died between our submission and this append;
-                # its crash fan-out could not see the handle yet, so fail it
-                # here — a consumer must never hang on a dead server.
-                handle._fail(self._crashed)
+        if self._crashed is not None and not handle.done:
+            # The step thread died between our submission and this resume; if
+            # its crash fan-out already failed the handle this is a no-op
+            # (_fail checks done), otherwise fail it here — a consumer must
+            # never hang on a dead server.
+            handle._fail(self._crashed)
         return handle
 
     async def submit_text(
@@ -391,14 +528,14 @@ class AsyncServingEngine:
 
     def _cancel(self, request_id: str) -> bool:
         with self._lock:
-            return self.engine.cancel(request_id)
+            reply = self._drive_locked(CancelCommand(request_id=request_id))
+        return reply.cancelled
 
     def _discard(self, handle: StreamHandle) -> None:
         """Forget a settled handle (runs on the event loop, like close())."""
-        try:
-            self._handles.remove(handle)
-        except ValueError:
-            pass
+        with self._registry_lock:
+            if self._registry.get(handle.request_id) is handle:
+                del self._registry[handle.request_id]
 
 
 __all__ = [

@@ -564,6 +564,66 @@ class TestAsyncCancellation:
         asyncio.run(run())
 
 
+class TestSyncLifecycle:
+    """Explicit shutdown semantics: join the thread, settle handles — never
+    rely on daemon-thread teardown to "clean up"."""
+
+    def test_sync_context_manager_joins_thread(self, tiny_pipeline):
+        engine = _engine(tiny_pipeline, "ntp", DecodingStrategy.NTP)
+        server = AsyncServingEngine(engine)
+        with server:
+            assert server.running
+            thread = server._thread
+        assert not server.running
+        assert thread is not None and not thread.is_alive()
+
+    def test_shutdown_fails_pending_handles_after_loop_exit(self, tiny_pipeline):
+        """A handle whose event loop already closed is settled in place by
+        the sync shutdown instead of being stranded mid-stream."""
+        engine = _engine(tiny_pipeline, "ours", DecodingStrategy.OURS, max_active_requests=1)
+        server = AsyncServingEngine(engine)
+
+        async def submit():
+            server.start()
+            return await server.submit_text(
+                _prompts(tiny_pipeline, 1)[0], GenerationConfig.greedy_config(2000)
+            )
+
+        handle = asyncio.run(submit())  # loop is closed when this returns
+        assert not handle.done
+        server.shutdown()
+        assert not server.running
+        assert handle.done
+        assert isinstance(handle._error, RequestCancelled)
+        assert server._handles == []  # settled handles are pruned, not leaked
+
+    def test_shutdown_is_idempotent(self, tiny_pipeline):
+        engine = _engine(tiny_pipeline, "ntp", DecodingStrategy.NTP)
+        server = AsyncServingEngine(engine)
+        with server:
+            pass
+        server.shutdown()  # again, after the with-block already shut down
+        server.shutdown()
+        assert not server.running
+
+    def test_shutdown_without_cancel_leaves_engine_resumable(self, tiny_pipeline):
+        """``cancel_pending=False`` hands the in-flight work back to the
+        caller: the engine can be drained synchronously afterwards."""
+        engine = _engine(tiny_pipeline, "ours", DecodingStrategy.OURS)
+        server = AsyncServingEngine(engine)
+
+        async def submit():
+            server.start()
+            return await server.submit_text(
+                _prompts(tiny_pipeline, 1)[0], GenerationConfig.greedy_config(12)
+            )
+
+        handle = asyncio.run(submit())
+        server.shutdown(cancel_pending=False)
+        results = engine.run()
+        assert results[handle.request_id].token_ids
+
+
 class TestPriorityScheduling:
     """Priority classes admit latency-sensitive work first; aging stops starvation."""
 
