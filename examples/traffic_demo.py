@@ -1,0 +1,172 @@
+"""Traffic harness demo: trace replay, SLO admission and the ops dashboard.
+
+Generates a seeded multi-tenant trace (Poisson arrivals, interactive/bulk
+mix, shared tenant preambles), overloads a 2-slot serving engine on a
+**simulated clock** — so the whole run is deterministic and takes virtual,
+not wall, time — and replays it twice:
+
+* without admission control: bulk floods the queue and interactive TTFT
+  degrades with it;
+* with the SLO-aware :class:`~repro.traffic.AdmissionController`: bulk is
+  shed while the rolling interactive p95 TTFT is in breach, interactive is
+  never touched.
+
+After each replay the ANSI ops dashboard renders the final engine state as
+a pure text frame (no TTY required), and the demo prints a side-by-side
+summary of the two regimes.
+
+Run with:  python examples/traffic_demo.py
+Smoke:     python examples/traffic_demo.py --smoke      (tiny model, seconds)
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.core.pipeline import PipelineConfig, VerilogSpecPipeline
+from repro.serving import PriorityConfig, SchedulerConfig
+from repro.traffic import (
+    AdmissionController,
+    OpsDashboard,
+    SLOConfig,
+    SimulatedClock,
+    StepCostModel,
+    TraceConfig,
+    generate_trace,
+    render_frame,
+    replay_trace,
+    snapshot_from_engine,
+)
+
+#: Internal breach threshold the detector trips on; the operator-facing SLO
+#: target the summary is judged against is looser (see the bench).
+TRIP_P95 = 0.03
+
+COST_MODEL = StepCostModel(
+    step_seconds=0.002, prefill_token_seconds=0.0005, decode_token_seconds=0.004
+)
+
+
+def build_trace(num_requests: int):
+    config = TraceConfig(
+        num_requests=num_requests,
+        seed=42,
+        requests_per_second=16.0,
+        arrival_process="poisson",
+        num_tenants=4,
+        preamble_groups=2,
+        interactive_fraction=0.4,
+        prompt_sentence_choices=(1, 2),
+        max_new_token_choices=(8, 16),
+    )
+    return generate_trace(config)
+
+
+def replay(pipeline: VerilogSpecPipeline, trace, admission):
+    """One replay on a fresh 2-slot engine and a fresh simulated clock."""
+    clock = SimulatedClock()
+    engine = pipeline.engine_for(
+        "ours",
+        scheduler_config=SchedulerConfig(
+            max_active_requests=2, priorities=PriorityConfig(aging_rounds=1)
+        ),
+        clock=clock,
+    )
+    report = replay_trace(
+        engine, trace, clock=clock, cost_model=COST_MODEL, admission=admission
+    )
+    return engine, clock, report
+
+
+def show_dashboard(engine, clock, report, title: str) -> None:
+    dashboard = OpsDashboard(engine=engine)
+    for outcome in report.outcomes:
+        if outcome.status in ("finished", "cancelled", "deadline"):
+            dashboard.note_finished(outcome.request_id)
+    snapshot = snapshot_from_engine(
+        engine,
+        finished_ids=dashboard.finished_ids,
+        window_seconds=report.duration_seconds,
+        admission_snapshot=report.admission,
+        now=clock.now,
+    )
+    print(f"\n--- {title} ---")
+    print(render_frame(snapshot, width=76))
+
+
+def main() -> None:
+    smoke = "--smoke" in sys.argv[1:]
+    if smoke:
+        config = PipelineConfig(
+            corpus_items=40,
+            vocab_size=400,
+            model_dim=32,
+            num_layers=1,
+            num_attention_heads=2,
+            num_medusa_heads=4,
+            max_seq_len=288,
+            epochs=1,
+            max_train_seq_len=160,
+        )
+        num_requests = 32
+    else:
+        config = PipelineConfig(
+            corpus_items=160, vocab_size=700, model_dim=64, num_layers=2, num_medusa_heads=8, epochs=4
+        )
+        num_requests = 64
+
+    pipeline = VerilogSpecPipeline(config)
+    pipeline.prepare()
+    pipeline.train_method("ours")
+
+    trace = build_trace(num_requests)
+    print(
+        f"Trace: {len(trace.requests)} requests over {trace.duration_seconds:.1f}s virtual, "
+        f"{len(trace.tenants())} tenants, "
+        f"{sum(1 for r in trace.requests if r.traffic_class == 'interactive')} interactive / "
+        f"{sum(1 for r in trace.requests if r.traffic_class == 'bulk')} bulk"
+    )
+
+    # Regime 1: every request admitted; bulk backlog drags interactive down.
+    engine, clock, without = replay(pipeline, trace, admission=None)
+    show_dashboard(engine, clock, without, "without admission control")
+
+    # Regime 2: SLO-aware admission sheds bulk while interactive is in breach.
+    admission = AdmissionController(
+        SLOConfig(
+            target_p95_ttft=TRIP_P95,
+            window_seconds=5.0,
+            recover_under=0.5,
+            min_samples=2,
+            tenant_rate=400.0,
+            tenant_burst=128.0,
+        )
+    )
+    engine, clock, with_slo = replay(pipeline, trace, admission=admission)
+    show_dashboard(engine, clock, with_slo, "with SLO admission")
+
+    print(f"\n{'':<14} {'interactive p95 TTFT':>22} {'bulk shed':>10} {'served':>8}")
+    for label, report in (("without", without), ("with SLO", with_slo)):
+        interactive = report.class_summary("interactive")
+        bulk = report.class_summary("bulk")
+        print(
+            f"{label:<14} {interactive['ttft']['p95'] * 1e3:>19.1f} ms "
+            f"{bulk['shed']:>10} {interactive['served'] + bulk['served']:>8}"
+        )
+
+    p95_with = with_slo.class_summary("interactive")["ttft"]["p95"]
+    p95_without = without.class_summary("interactive")["ttft"]["p95"]
+    if p95_with >= p95_without:
+        raise SystemExit("SLO admission did not improve interactive p95 TTFT")
+    shed = [o for o in with_slo.outcomes if o.status == "shed"]
+    if any(o.traffic_class != "bulk" for o in shed):
+        raise SystemExit("admission shed non-bulk traffic")
+    print(
+        f"\nSLO admission cut interactive p95 TTFT from {p95_without * 1e3:.0f} ms to "
+        f"{p95_with * 1e3:.0f} ms by shedding {len(shed)} bulk requests; interactive "
+        "traffic was never shed.  Same seed, same numbers, every run."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -216,6 +216,7 @@ class VerilogSpecPipeline:
         kv_memory: str = "paged",
         kv_block_size: int = 16,
         kv_pool_blocks=None,
+        clock=None,
     ):
         """Return a continuous-batching :class:`~repro.serving.ServingEngine`.
 
@@ -237,6 +238,9 @@ class VerilogSpecPipeline:
             kv_block_size: Tokens per physical block in paged mode.
             kv_pool_blocks: Paged pool capacity in blocks (``None`` sizes it
                 from the scheduler budgets).
+            clock: Optional time source for engine timestamps (the traffic
+                harness passes a :class:`~repro.traffic.clock.SimulatedClock`
+                for deterministic trace replay; ``None`` = wall clock).
 
         Returns:
             A fresh engine wrapping the trained model for ``method``.
@@ -255,4 +259,5 @@ class VerilogSpecPipeline:
             kv_memory=kv_memory,
             kv_block_size=kv_block_size,
             kv_pool_blocks=kv_pool_blocks,
+            clock=clock,
         )

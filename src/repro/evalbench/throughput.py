@@ -35,19 +35,11 @@ import time
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple
 
-import numpy as np
-
 from repro.core.decoding import DecodeResult, SpeculativeDecoder
+from repro.evalbench.stats import percentile as _percentile
 from repro.models.generation import GenerationConfig
 from repro.serving.engine import ServingEngine
 from repro.serving.server import AsyncServingEngine
-
-
-def _percentile(values: Sequence[float], q: float) -> float:
-    """Linear-interpolation percentile (numpy default), 0.0 for empty input."""
-    if not values:
-        return 0.0
-    return float(np.percentile(np.asarray(values, dtype=np.float64), q))
 
 
 @dataclass

@@ -65,7 +65,6 @@ construction.
 
 from __future__ import annotations
 
-import time
 from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.core.acceptance import TypicalAcceptance
@@ -112,6 +111,12 @@ class ServingEngine:
             sizes it from the scheduler budgets (worst-case committed
             context + speculative verification transient + prefix-cache
             retention); see :meth:`EngineCore._default_pool_blocks`.
+        clock: Time source for every timestamp the engine stamps (defaults
+            to ``time.perf_counter``).  The traffic harness
+            (:mod:`repro.traffic`) injects a deterministic
+            :class:`~repro.traffic.clock.SimulatedClock` so trace replays —
+            TTFT/latency series, deadline expiry, admission timing — are
+            reproducible in virtual time; see ``docs/traffic.md``.
     """
 
     def __init__(
@@ -127,6 +132,7 @@ class ServingEngine:
         kv_memory: str = "paged",
         kv_block_size: int = 16,
         kv_pool_blocks: Optional[int] = None,
+        clock: Optional[Callable[[], float]] = None,
     ) -> None:
         self.core = EngineCore(
             model=model,
@@ -141,6 +147,7 @@ class ServingEngine:
             kv_block_size=kv_block_size,
             kv_pool_blocks=kv_pool_blocks,
             on_finish=self._on_core_finish,
+            clock=clock,
         )
         self._states: Dict[str, RequestState] = {}
         self._results: Dict[str, DecodeResult] = {}
@@ -304,7 +311,7 @@ class ServingEngine:
             priority=priority,
             deadline_seconds=deadline,
         )
-        state = RequestState(request=request, submitted_at=time.perf_counter())
+        state = RequestState(request=request, submitted_at=self.core.clock())
         self._states[request_id] = state
         self.core.enqueue(state)
         return request_id

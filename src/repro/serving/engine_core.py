@@ -83,6 +83,14 @@ class EngineCore:
             ``on_finish(state, result)`` — with the frozen result.  The core
             itself retains nothing, which is what bounds a long-lived
             worker's memory.
+        clock: Time source for every timestamp the core stamps — submission,
+            admission, commits, completion, deadline expiry and the prefill
+            timing accumulator.  Defaults to ``time.perf_counter`` (the wall
+            clock).  The traffic harness injects a
+            :class:`~repro.traffic.clock.SimulatedClock` here so whole load
+            tests replay deterministically in virtual time: timestamps, TTFT
+            series and deadline expiries then depend only on the trace and
+            the replayer's cost model, never on host speed.
     """
 
     def __init__(
@@ -99,6 +107,7 @@ class EngineCore:
         kv_block_size: int = 16,
         kv_pool_blocks: Optional[int] = None,
         on_finish: Optional[Callable[[RequestState, DecodeResult], None]] = None,
+        clock: Optional[Callable[[], float]] = None,
     ) -> None:
         if model.is_encoder_decoder:
             raise ValueError(
@@ -118,6 +127,8 @@ class EngineCore:
         self.scheduler = Scheduler(scheduler_config or SchedulerConfig())
         self.prefix_cache = prefix_cache
         self.on_finish = on_finish or (lambda state, result: None)
+        #: Every timestamp the core produces flows through this callable.
+        self.clock: Callable[[], float] = clock or time.perf_counter
         if kv_memory not in ("paged", "row"):
             raise ValueError(f"kv_memory must be 'paged' or 'row', got {kv_memory!r}")
         self.kv_memory = kv_memory
@@ -322,7 +333,7 @@ class EngineCore:
         custody — scheduler queue entry and, for deadlined requests, the
         expiry watch list.
         """
-        state.submitted_at = time.perf_counter()
+        state.submitted_at = self.clock()
         self.scheduler.submit(state)
         if state.request.deadline_seconds is not None:
             self._deadlined.append(state)
@@ -405,7 +416,7 @@ class EngineCore:
         """Cancel in-flight requests whose submission deadline has passed."""
         if not self._deadlined:
             return
-        now = time.perf_counter()
+        now = self.clock()
         still_waiting: List[RequestState] = []
         for state in self._deadlined:
             if state.status in (RequestStatus.FINISHED, RequestStatus.CANCELLED):
@@ -443,7 +454,7 @@ class EngineCore:
             ):
                 pass
         for state in self.scheduler.admit(**self._admission_kwargs()):
-            state.started_at = time.perf_counter()
+            state.started_at = self.clock()
             prompt = state.request.prompt_ids
             # Built before the budget check so even a prompt-overflow finish
             # runs the grammar closure, exactly like sequential generate.
@@ -507,12 +518,12 @@ class EngineCore:
                 chunk = np.asarray(
                     [prompt[state.prefill_pos : state.prefill_pos + chunk_len]], dtype=np.int64
                 )
-                forward_start = time.perf_counter()
+                forward_start = self.clock()
                 base_logits, hidden = self.model.forward_hidden(chunk, cache=state.row_cache)
                 if state.prefill_pos + chunk_len == len(prompt):
                     state.last_base = base_logits[0, -1]
                     state.last_heads = [h[0] for h in self.model.head_logits_at(hidden[:, -1])]
-                state.prefill_seconds += time.perf_counter() - forward_start
+                state.prefill_seconds += self.clock() - forward_start
                 state.prefill_pos += chunk_len
                 self.tokens_prefilled_total += chunk_len
             if state.prefill_pos == len(prompt):
@@ -547,7 +558,7 @@ class EngineCore:
         continuing_rows: List[int] = []
         next_tokens: List[int] = []
         finished: List[RequestState] = []
-        commit_time = time.perf_counter()
+        commit_time = self.clock()
         for row, state in enumerate(self._active):
             config = state.request.config
             token = masked_sample(state.last_base, config, state.rng, state.grammar_mask)
@@ -692,7 +703,7 @@ class EngineCore:
             if state.grammar_mask is not None:
                 for token_id in best_tokens:
                     state.grammar_mask.advance(token_id)
-            state.record_commit(best_tokens, time.perf_counter())
+            state.record_commit(best_tokens, self.clock())
             state.step_records.append(
                 StepRecord(
                     proposed=len(candidates[0]),
@@ -812,7 +823,7 @@ class EngineCore:
             if state.grammar_mask is not None:
                 for token_id in best_tokens:
                     state.grammar_mask.advance(token_id)
-            state.record_commit(best_tokens, time.perf_counter())
+            state.record_commit(best_tokens, self.clock())
             # Requests that did not opt into trees ride along as forests, but
             # their *stats* keep the row-batched accounting (their own rows x
             # their own padded width) so a request's reported verified count
@@ -900,9 +911,9 @@ class EngineCore:
             # Cancelled requests freeze their partial output untouched.
             closure = closure_token_ids(state.grammar_mask, self.tokenizer)
             if closure:
-                state.record_commit(closure, time.perf_counter())
+                state.record_commit(closure, self.clock())
                 state.closure_tokens = len(closure)
-        state.finished_at = time.perf_counter()
+        state.finished_at = self.clock()
         if release:
             self.scheduler.release(state)
         text = self.tokenizer.decode(state.output_ids, keep_frag=True)

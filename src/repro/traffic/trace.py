@@ -1,0 +1,326 @@
+"""Seeded synthetic traffic traces: generation, serialization, replay input.
+
+A *trace* is an ordered list of :class:`TraceRequest` events — each with an
+arrival time, tenant, traffic class, prompt, decoding budget and optional
+deadline or mid-flight cancellation — plus the config that generated it.
+Traces are what the replayer (:mod:`repro.traffic.replay`) feeds to a
+serving engine, and what CI pins down for reproducibility: the same
+:class:`TraceConfig` always produces the same trace, and ``to_json`` emits
+canonical bytes so two runs can be compared with ``==`` on strings.
+
+Generation models the traffic mix the serving stack cares about:
+
+* **arrivals** — Poisson (exponential inter-arrival gaps) or *bursty*
+  (Poisson gaps with periodic burst windows whose rate is multiplied by
+  ``burst_factor``), scaled to ``requests_per_second``;
+* **tenants** — requests are assigned to ``num_tenants`` tenants; tenants in
+  the same *preamble group* share a synthetic prompt preamble so replay
+  exercises the cross-request prefix cache;
+* **classes** — ``"interactive"`` (latency-sensitive, mapped to high
+  scheduler priority) vs ``"bulk"`` (batch traffic, the class the admission
+  controller is allowed to defer or shed);
+* **churn** — a seeded fraction of requests carries a deadline
+  (``deadline_seconds``) or a scheduled cancellation (``cancel_after``
+  seconds after submission), so replay covers the engine's expiry and
+  cancel paths.
+
+Everything derives from one ``numpy`` Generator seeded by
+``TraceConfig.seed`` — no wall-clock or global-RNG input anywhere.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+#: Traffic classes a trace request may carry.
+TRAFFIC_CLASSES = ("interactive", "bulk")
+
+#: Scheduler priority assigned per class on replay (higher = sooner).
+CLASS_PRIORITY = {"interactive": 10, "bulk": 0}
+
+
+@dataclass
+class TraceRequest:
+    """One request event in a trace.
+
+    Attributes:
+        request_id: Stable id, unique within the trace (``"r0007"``-style).
+        arrival_seconds: Submission time relative to trace start.
+        tenant: Tenant id string (``"tenant-3"``).
+        traffic_class: ``"interactive"`` or ``"bulk"``.
+        prompt: Prompt text (tenant-group preamble + unique tail).
+        max_new_tokens: Decode budget for the request.
+        deadline_seconds: Optional per-request deadline (relative to
+            submission) enforced by the engine's expiry path.
+        cancel_after: Optional delay (relative to submission) after which the
+            replayer cancels the request mid-flight.
+    """
+
+    request_id: str
+    arrival_seconds: float
+    tenant: str
+    traffic_class: str
+    prompt: str
+    max_new_tokens: int
+    deadline_seconds: Optional[float] = None
+    cancel_after: Optional[float] = None
+
+    @property
+    def priority(self) -> int:
+        """Scheduler priority implied by the traffic class."""
+        return CLASS_PRIORITY[self.traffic_class]
+
+
+@dataclass
+class TraceConfig:
+    """Knobs for :func:`generate_trace`.
+
+    Attributes:
+        num_requests: Number of request events to emit.
+        seed: RNG seed — same seed, same trace, byte-identical JSON.
+        requests_per_second: Mean arrival rate (Poisson intensity).
+        arrival_process: ``"poisson"`` or ``"bursty"``.
+        burst_factor: Rate multiplier inside burst windows (bursty only).
+        burst_period_seconds: Burst cycle length (bursty only).
+        burst_duty: Fraction of each cycle spent bursting (bursty only).
+        num_tenants: Tenant population size.
+        preamble_groups: Number of shared-preamble groups tenants are
+            partitioned into (1 = everyone shares one preamble; equal to
+            ``num_tenants`` = no sharing).
+        preamble_sentences: Length of each group's shared preamble, in
+            synthetic sentences.
+        interactive_fraction: Probability a request is interactive.
+        prompt_sentence_choices: Unique-tail length mix (sentences),
+            sampled uniformly.
+        max_new_token_choices: Decode-budget mix, sampled uniformly.
+        deadline_fraction: Probability a request carries a deadline.
+        deadline_seconds_range: ``(lo, hi)`` uniform range for deadlines.
+        cancel_fraction: Probability a request gets a scheduled cancel.
+        cancel_after_range: ``(lo, hi)`` uniform range for cancel delays.
+    """
+
+    num_requests: int = 64
+    seed: int = 0
+    requests_per_second: float = 8.0
+    arrival_process: str = "poisson"
+    burst_factor: float = 4.0
+    burst_period_seconds: float = 4.0
+    burst_duty: float = 0.25
+    num_tenants: int = 4
+    preamble_groups: int = 2
+    preamble_sentences: int = 3
+    interactive_fraction: float = 0.5
+    prompt_sentence_choices: tuple = (1, 2, 4)
+    max_new_token_choices: tuple = (8, 16, 32)
+    deadline_fraction: float = 0.0
+    deadline_seconds_range: tuple = (0.5, 2.0)
+    cancel_fraction: float = 0.0
+    cancel_after_range: tuple = (0.05, 0.5)
+
+    def validate(self) -> None:
+        """Raise ``ValueError`` on out-of-range knobs."""
+        if self.num_requests <= 0:
+            raise ValueError("num_requests must be positive")
+        if self.requests_per_second <= 0:
+            raise ValueError("requests_per_second must be positive")
+        if self.arrival_process not in ("poisson", "bursty"):
+            raise ValueError(f"unknown arrival_process {self.arrival_process!r}")
+        if not 0 < self.preamble_groups <= self.num_tenants:
+            raise ValueError("preamble_groups must be in [1, num_tenants]")
+        if not 0.0 <= self.interactive_fraction <= 1.0:
+            raise ValueError("interactive_fraction must be in [0, 1]")
+        if not 0.0 <= self.deadline_fraction <= 1.0:
+            raise ValueError("deadline_fraction must be in [0, 1]")
+        if not 0.0 <= self.cancel_fraction <= 1.0:
+            raise ValueError("cancel_fraction must be in [0, 1]")
+        if not 0.0 < self.burst_duty <= 1.0:
+            raise ValueError("burst_duty must be in (0, 1]")
+
+
+@dataclass
+class Trace:
+    """A generated trace: the request events plus their generating config."""
+
+    config: TraceConfig
+    requests: List[TraceRequest] = field(default_factory=list)
+
+    @property
+    def duration_seconds(self) -> float:
+        """Arrival time of the last request (0.0 for an empty trace)."""
+        if not self.requests:
+            return 0.0
+        return self.requests[-1].arrival_seconds
+
+    def tenants(self) -> List[str]:
+        """Sorted distinct tenant ids appearing in the trace."""
+        return sorted({r.tenant for r in self.requests})
+
+    # ------------------------------------------------------------------ #
+    # Serialization — canonical, byte-stable
+    # ------------------------------------------------------------------ #
+
+    def to_dict(self) -> Dict:
+        """Plain-dict form (JSON-compatible scalars only)."""
+        config = asdict(self.config)
+        # Tuples serialize as lists; normalise here so to_dict() == the
+        # parse of to_json() without a special-case comparison.
+        for key, value in config.items():
+            if isinstance(value, tuple):
+                config[key] = list(value)
+        return {
+            "schema": "repro.traffic.trace.v1",
+            "config": config,
+            "requests": [
+                {k: v for k, v in asdict(r).items() if v is not None}
+                for r in self.requests
+            ],
+        }
+
+    def to_json(self) -> str:
+        """Canonical JSON: sorted keys, fixed separators — byte-stable."""
+        return json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+
+    @classmethod
+    def from_dict(cls, payload: Dict) -> "Trace":
+        """Inverse of :meth:`to_dict`.
+
+        Raises:
+            ValueError: Unknown schema tag.
+        """
+        schema = payload.get("schema")
+        if schema != "repro.traffic.trace.v1":
+            raise ValueError(f"unknown trace schema {schema!r}")
+        config_dict = dict(payload["config"])
+        for key in ("prompt_sentence_choices", "max_new_token_choices",
+                    "deadline_seconds_range", "cancel_after_range"):
+            if key in config_dict:
+                config_dict[key] = tuple(config_dict[key])
+        config = TraceConfig(**config_dict)
+        requests = [TraceRequest(**r) for r in payload["requests"]]
+        return cls(config=config, requests=requests)
+
+    @classmethod
+    def from_json(cls, text: str) -> "Trace":
+        """Inverse of :meth:`to_json`."""
+        return cls.from_dict(json.loads(text))
+
+    def save(self, path: str) -> None:
+        """Write the canonical JSON to ``path``."""
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(self.to_json())
+
+    @classmethod
+    def load(cls, path: str) -> "Trace":
+        """Read a trace previously written by :meth:`save`."""
+        with open(path, "r", encoding="utf-8") as fh:
+            return cls.from_json(fh.read())
+
+
+# ---------------------------------------------------------------------- #
+# Generation
+# ---------------------------------------------------------------------- #
+
+_SUBJECTS = ("the counter", "the fifo", "the alu", "the shifter", "the decoder",
+             "the arbiter", "the fsm", "the register file")
+_VERBS = ("updates", "resets", "shifts", "latches", "compares", "accumulates")
+_OBJECTS = ("on the rising edge", "when enable is high", "after the stall",
+            "under backpressure", "in the next cycle", "on overflow")
+
+
+def _sentence(rng: np.random.Generator) -> str:
+    """One synthetic prompt sentence drawn from a tiny fixed vocabulary."""
+    return " ".join([
+        str(rng.choice(_SUBJECTS)),
+        str(rng.choice(_VERBS)),
+        str(rng.choice(_OBJECTS)),
+    ])
+
+
+def _arrival_times(config: TraceConfig, rng: np.random.Generator) -> List[float]:
+    """Cumulative arrival times for the configured arrival process."""
+    times: List[float] = []
+    now = 0.0
+    base_rate = config.requests_per_second
+    for _ in range(config.num_requests):
+        rate = base_rate
+        if config.arrival_process == "bursty":
+            # Burst windows occupy the first `burst_duty` of each period;
+            # inside them arrivals come `burst_factor`x faster.
+            phase = (now % config.burst_period_seconds) / config.burst_period_seconds
+            if phase < config.burst_duty:
+                rate = base_rate * config.burst_factor
+        gap = float(rng.exponential(1.0 / rate))
+        now += gap
+        times.append(now)
+    return times
+
+
+def generate_trace(config: Optional[TraceConfig] = None) -> Trace:
+    """Generate a deterministic synthetic trace from ``config``.
+
+    All randomness flows through one generator seeded by ``config.seed``:
+    calling this twice with equal configs yields traces whose
+    :meth:`Trace.to_json` strings are identical.
+
+    Returns:
+        The generated :class:`Trace` (requests sorted by arrival time).
+    """
+    config = config or TraceConfig()
+    config.validate()
+    rng = np.random.default_rng(config.seed)
+
+    # Shared preambles: tenants are partitioned round-robin into groups and
+    # each group gets one fixed preamble, so same-group requests share a
+    # prompt prefix the serving stack's prefix cache can exploit.
+    preambles = [
+        ". ".join(_sentence(rng) for _ in range(config.preamble_sentences)) + ". "
+        for _ in range(config.preamble_groups)
+    ]
+    tenant_group = {
+        f"tenant-{t}": t % config.preamble_groups for t in range(config.num_tenants)
+    }
+
+    arrivals = _arrival_times(config, rng)
+    requests: List[TraceRequest] = []
+    for i, arrival in enumerate(arrivals):
+        tenant = f"tenant-{int(rng.integers(config.num_tenants))}"
+        traffic_class = (
+            "interactive" if rng.random() < config.interactive_fraction else "bulk"
+        )
+        num_sentences = int(rng.choice(np.asarray(config.prompt_sentence_choices)))
+        tail = ". ".join(_sentence(rng) for _ in range(num_sentences)) + "."
+        deadline = None
+        if rng.random() < config.deadline_fraction:
+            lo, hi = config.deadline_seconds_range
+            deadline = round(float(rng.uniform(lo, hi)), 6)
+        cancel_after = None
+        if rng.random() < config.cancel_fraction:
+            lo, hi = config.cancel_after_range
+            cancel_after = round(float(rng.uniform(lo, hi)), 6)
+        requests.append(
+            TraceRequest(
+                request_id=f"r{i:04d}",
+                arrival_seconds=round(arrival, 6),
+                tenant=tenant,
+                traffic_class=traffic_class,
+                prompt=preambles[tenant_group[tenant]] + tail,
+                max_new_tokens=int(rng.choice(np.asarray(config.max_new_token_choices))),
+                deadline_seconds=deadline,
+                cancel_after=cancel_after,
+            )
+        )
+    return Trace(config=config, requests=requests)
+
+
+__all__ = [
+    "TRAFFIC_CLASSES",
+    "CLASS_PRIORITY",
+    "TraceRequest",
+    "TraceConfig",
+    "Trace",
+    "generate_trace",
+]

@@ -1,0 +1,285 @@
+"""Admission controller tests: buckets, hysteresis, and fuzzed invariants.
+
+The deterministic tests pin each mechanism (token-bucket arithmetic, breach
+trip/recover thresholds, the decision policy); the property suite then
+fuzzes random interleavings of TTFT observations, admission consults and
+clock advances and asserts the controller's four contractual invariants:
+
+1. interactive traffic is **never** shed;
+2. bulk traffic is shed **only** while the detector reports a breach;
+3. no starvation — after the breach clears and buckets refill, a bulk
+   request is eventually admitted;
+4. token-bucket levels are never negative.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from proptest import Cases, for_all, num_cases
+
+from repro.traffic import (
+    AdmissionController,
+    AdmissionDecision,
+    BreachDetector,
+    SLOConfig,
+    TokenBucket,
+)
+
+
+class TestTokenBucket:
+    def test_starts_full_and_spends(self):
+        bucket = TokenBucket(rate=10.0, burst=20.0)
+        assert bucket.level(0.0) == 20.0
+        assert bucket.try_spend(15.0, 0.0)
+        assert bucket.level(0.0) == 5.0
+
+    def test_failed_spend_leaves_level_untouched(self):
+        bucket = TokenBucket(rate=10.0, burst=20.0)
+        assert not bucket.try_spend(25.0, 0.0)
+        assert bucket.level(0.0) == 20.0
+
+    def test_refills_at_rate_and_caps_at_burst(self):
+        bucket = TokenBucket(rate=10.0, burst=20.0)
+        assert bucket.try_spend(20.0, 0.0)
+        assert bucket.level(1.0) == pytest.approx(10.0)
+        assert bucket.level(100.0) == pytest.approx(20.0)
+
+    def test_clock_going_backwards_does_not_drain(self):
+        bucket = TokenBucket(rate=10.0, burst=20.0)
+        bucket.level(5.0)
+        assert bucket.level(4.0) == pytest.approx(20.0)
+
+    @pytest.mark.parametrize("rate,burst", [(0.0, 1.0), (-1.0, 1.0), (1.0, 0.0)])
+    def test_bad_construction_rejected(self, rate, burst):
+        with pytest.raises(ValueError):
+            TokenBucket(rate=rate, burst=burst)
+
+    def test_negative_spend_rejected(self):
+        bucket = TokenBucket(rate=1.0, burst=1.0)
+        with pytest.raises(ValueError):
+            bucket.try_spend(-1.0, 0.0)
+
+
+class TestBreachDetector:
+    def _config(self, **overrides):
+        base = dict(target_p95_ttft=0.1, window_seconds=10.0, recover_under=0.5, min_samples=3)
+        base.update(overrides)
+        return SLOConfig(**base)
+
+    def test_no_breach_below_min_samples(self):
+        detector = BreachDetector(self._config())
+        detector.observe(5.0, 0.0)
+        detector.observe(5.0, 0.1)
+        assert not detector.breached
+
+    def test_trips_on_high_p95(self):
+        detector = BreachDetector(self._config())
+        for i in range(3):
+            detector.observe(0.5, i * 0.1)
+        assert detector.breached
+        assert detector.breach_count == 1
+
+    def test_hysteresis_holds_between_thresholds(self):
+        # p95 between recover_under*target and target: a tripped detector
+        # stays tripped; an untripped one stays untripped.
+        detector = BreachDetector(self._config())
+        for i in range(3):
+            detector.observe(0.5, i * 0.1)
+        assert detector.breached
+        for i in range(40):  # flood the window with 0.08s samples (0.05..0.1 band)
+            detector.observe(0.08, 1.0 + i * 0.01)
+        assert detector.breached  # held by hysteresis
+
+        fresh = BreachDetector(self._config())
+        for i in range(10):
+            fresh.observe(0.08, i * 0.1)
+        assert not fresh.breached
+
+    def test_recovers_below_recover_threshold(self):
+        detector = BreachDetector(self._config())
+        for i in range(3):
+            detector.observe(0.5, i * 0.1)
+        assert detector.breached
+        for i in range(60):
+            detector.observe(0.01, 1.0 + i * 0.01)
+        detector.update(12.0)  # old high samples have also aged out by now
+        assert not detector.breached
+
+    def test_quiet_period_clears_breach(self):
+        detector = BreachDetector(self._config())
+        for i in range(3):
+            detector.observe(0.5, i * 0.1)
+        assert detector.breached
+        # No new samples; the window drains past window_seconds.
+        assert not detector.update(100.0)
+
+    def test_window_expiry_drops_old_samples(self):
+        detector = BreachDetector(self._config(window_seconds=1.0))
+        detector.observe(0.5, 0.0)
+        assert detector.window_p95(0.5) > 0.0
+        assert detector.window_p95(2.0) == 0.0
+
+    @pytest.mark.parametrize(
+        "overrides",
+        [
+            {"target_p95_ttft": 0.0},
+            {"window_seconds": -1.0},
+            {"recover_under": 0.0},
+            {"recover_under": 1.5},
+            {"min_samples": 0},
+        ],
+    )
+    def test_bad_config_rejected(self, overrides):
+        with pytest.raises(ValueError):
+            BreachDetector(self._config(**overrides))
+
+
+class TestAdmissionController:
+    def _controller(self, **overrides) -> AdmissionController:
+        base = dict(
+            target_p95_ttft=0.1,
+            window_seconds=10.0,
+            recover_under=0.5,
+            min_samples=3,
+            tenant_rate=100.0,
+            tenant_burst=50.0,
+        )
+        base.update(overrides)
+        return AdmissionController(SLOConfig(**base))
+
+    def _trip(self, controller: AdmissionController, now: float = 0.0) -> None:
+        for i in range(3):
+            controller.observe_ttft(1.0, now + i * 0.01)
+        assert controller.detector.breached
+
+    def test_admits_by_default(self):
+        controller = self._controller()
+        assert controller.decide("t0", "bulk", 10, 0.0) is AdmissionDecision.ADMIT
+        assert controller.decide("t0", "interactive", 10, 0.0) is AdmissionDecision.ADMIT
+
+    def test_bulk_shed_during_breach_interactive_never(self):
+        controller = self._controller()
+        self._trip(controller)
+        assert controller.decide("t0", "bulk", 10, 0.1) is AdmissionDecision.SHED
+        decision = controller.decide("t0", "interactive", 10, 0.1)
+        assert decision in (AdmissionDecision.ADMIT, AdmissionDecision.DEFER)
+        assert decision is AdmissionDecision.ADMIT  # bucket is full here
+
+    def test_empty_bucket_defers_instead_of_shedding(self):
+        controller = self._controller(tenant_rate=1.0, tenant_burst=10.0)
+        assert controller.decide("t0", "interactive", 10, 0.0) is AdmissionDecision.ADMIT
+        assert controller.decide("t0", "interactive", 10, 0.0) is AdmissionDecision.DEFER
+        # After refill time the same request admits.
+        assert controller.decide("t0", "interactive", 10, 10.0) is AdmissionDecision.ADMIT
+
+    def test_oversized_request_charge_clamped_to_burst(self):
+        controller = self._controller(tenant_rate=100.0, tenant_burst=20.0)
+        # Budget exceeds the bucket capacity: charged `burst`, not starved.
+        assert controller.decide("t0", "bulk", 500, 0.0) is AdmissionDecision.ADMIT
+        assert controller.decide("t0", "bulk", 500, 0.0) is AdmissionDecision.DEFER
+        assert controller.decide("t0", "bulk", 500, 1.0) is AdmissionDecision.ADMIT
+
+    def test_buckets_are_per_tenant(self):
+        controller = self._controller(tenant_rate=1.0, tenant_burst=10.0)
+        assert controller.decide("t0", "bulk", 10, 0.0) is AdmissionDecision.ADMIT
+        assert controller.decide("t0", "bulk", 10, 0.0) is AdmissionDecision.DEFER
+        assert controller.decide("t1", "bulk", 10, 0.0) is AdmissionDecision.ADMIT
+
+    def test_no_rate_limit_when_tenant_rate_none(self):
+        controller = self._controller(tenant_rate=None)
+        for _ in range(50):
+            assert controller.decide("t0", "bulk", 1000, 0.0) is AdmissionDecision.ADMIT
+
+    def test_recovery_readmits_bulk(self):
+        controller = self._controller()
+        self._trip(controller)
+        assert controller.decide("t0", "bulk", 1, 0.1) is AdmissionDecision.SHED
+        # Quiet period: window drains, breach clears, bulk flows again.
+        assert controller.decide("t0", "bulk", 1, 100.0) is AdmissionDecision.ADMIT
+
+    def test_counters_and_snapshot(self):
+        controller = self._controller(tenant_rate=1.0, tenant_burst=10.0)
+        controller.decide("t0", "bulk", 10, 0.0)      # admit
+        controller.decide("t0", "bulk", 10, 0.0)      # defer
+        self._trip(controller, now=0.1)
+        controller.decide("t0", "bulk", 10, 0.2)      # shed
+        snapshot = controller.snapshot(0.2)
+        assert snapshot["breached"] is True
+        assert snapshot["breach_count"] == 1
+        assert snapshot["tenants"]["t0"] == {"admitted": 1, "deferred": 1, "shed": 1}
+        assert snapshot["window_p95_ttft"] > snapshot["target_p95_ttft"]
+        assert "t0" in snapshot["bucket_levels"]
+
+
+class TestAdmissionProperties:
+    """Fuzzed interleavings of observations, consults and clock advances."""
+
+    def test_invariants_under_random_traffic(self):
+        def property_fn(cases: Cases) -> None:
+            target = cases.choice([0.05, 0.1, 0.2])
+            rate_limited = cases.boolean()
+            controller = AdmissionController(
+                SLOConfig(
+                    target_p95_ttft=target,
+                    window_seconds=cases.choice([1.0, 5.0]),
+                    recover_under=cases.choice([0.5, 0.8]),
+                    min_samples=cases.integer(1, 4),
+                    tenant_rate=cases.choice([20.0, 100.0]) if rate_limited else None,
+                    tenant_burst=cases.choice([16.0, 64.0]),
+                )
+            )
+            now = 0.0
+            tenants = [f"t{i}" for i in range(cases.integer(1, 3))]
+            for _ in range(cases.integer(20, 120)):
+                now += cases.choice([0.0, 0.001, 0.01, 0.1, 1.0])
+                action = cases.choice(["observe", "decide", "idle"])
+                if action == "observe":
+                    # TTFT samples between well-under and well-over target.
+                    controller.observe_ttft(target * cases.choice([0.1, 0.5, 2.0, 10.0]), now)
+                elif action == "decide":
+                    tenant = cases.choice(tenants)
+                    traffic_class = cases.choice(["interactive", "bulk"])
+                    breached_before = controller.detector.update(now)
+                    decision = controller.decide(
+                        tenant, traffic_class, cases.integer(1, 128), now
+                    )
+                    # Invariant 1: interactive is never shed.
+                    if traffic_class == "interactive":
+                        assert decision is not AdmissionDecision.SHED
+                    # Invariant 2: shed only inside a breach window.
+                    if decision is AdmissionDecision.SHED:
+                        assert breached_before
+                    # Invariant 4: bucket accounting never negative.
+                    for bucket in controller.buckets.values():
+                        assert bucket.level(now) >= 0.0
+                # Invariant 4 also holds on idle ticks.
+                for bucket in controller.buckets.values():
+                    assert bucket.level(now) >= -0.0
+            # Invariant 3 (no starvation after recovery): far in the
+            # future the window has drained and every bucket refilled, so
+            # bulk traffic must flow for every tenant.
+            later = now + max(controller.config.window_seconds, 10.0) + 10.0
+            for tenant in tenants:
+                assert (
+                    controller.decide(tenant, "bulk", 8, later)
+                    is AdmissionDecision.ADMIT
+                )
+
+        for_all(num_cases(quick=25, full=400), property_fn, seed=10)
+
+    def test_bucket_never_negative_under_random_spends(self):
+        def property_fn(cases: Cases) -> None:
+            bucket = TokenBucket(
+                rate=cases.choice([0.5, 5.0, 50.0]),
+                burst=cases.choice([1.0, 16.0, 256.0]),
+            )
+            now = 0.0
+            for _ in range(cases.integer(10, 200)):
+                now += cases.choice([0.0, 0.001, 0.05, 2.0])
+                spend = cases.choice([0.0, 0.5, 1.0, 17.0, 300.0])
+                bucket.try_spend(spend, now)
+                level = bucket.level(now)
+                assert 0.0 <= level <= bucket.burst + 1e-9
+
+        for_all(num_cases(quick=30, full=500), property_fn, seed=11)

@@ -1,0 +1,282 @@
+"""Trace replay tests: simulated-clock determinism and churn coverage.
+
+The headline assertion is the harness's CI guarantee: generating the same
+trace twice and replaying it on fresh engines with fresh simulated clocks
+produces **identical** trace JSON, per-request token streams, statuses and
+report metrics — virtual time makes the whole latency surface (TTFT,
+inter-token, deadline expiry) part of the deterministic contract, not just
+the tokens.  The churn tests exercise the cancellation and deadline paths
+in virtual time, and one wall-clock test replays through the async
+front-end to cover the non-deterministic regime's plumbing.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.serving import PrefixCache, PriorityConfig, SchedulerConfig
+from repro.serving.server import AsyncServingEngine
+from repro.traffic import (
+    AdmissionController,
+    SimulatedClock,
+    SLOConfig,
+    StepCostModel,
+    Trace,
+    TraceConfig,
+    TraceRequest,
+    WallClock,
+    generate_trace,
+    replay_trace,
+    replay_trace_async,
+)
+
+
+def _engine(pipeline, clock=None, max_active=4, prefix_cache=None):
+    return pipeline.engine_for(
+        "ours",
+        scheduler_config=SchedulerConfig(
+            max_active_requests=max_active, priorities=PriorityConfig()
+        ),
+        prefix_cache=prefix_cache,
+        clock=clock,
+    )
+
+
+def _trace(**overrides) -> Trace:
+    base = dict(
+        num_requests=10,
+        seed=3,
+        requests_per_second=50.0,
+        max_new_token_choices=(4, 8),
+        prompt_sentence_choices=(1, 2),
+    )
+    base.update(overrides)
+    return generate_trace(TraceConfig(**base))
+
+
+def _manual_trace(requests) -> Trace:
+    return Trace(config=TraceConfig(num_requests=len(requests)), requests=list(requests))
+
+
+class TestSimulatedDeterminism:
+    def test_same_seed_identical_replay(self, tiny_pipeline):
+        config = TraceConfig(
+            num_requests=12,
+            seed=7,
+            requests_per_second=40.0,
+            arrival_process="bursty",
+            deadline_fraction=0.2,
+            cancel_fraction=0.15,
+            max_new_token_choices=(4, 8),
+            prompt_sentence_choices=(1, 2),
+        )
+
+        def run_once():
+            trace = generate_trace(config)
+            clock = SimulatedClock()
+            engine = _engine(tiny_pipeline, clock=clock)
+            report = replay_trace(engine, trace, clock=clock, cost_model=StepCostModel())
+            return trace.to_json(), report.to_dict()
+
+        trace_a, report_a = run_once()
+        trace_b, report_b = run_once()
+        assert trace_a == trace_b
+        # Full-report equality: token streams, statuses, TTFT/latency
+        # series, admission-free counters — everything, to the byte.
+        assert report_a == report_b
+        assert report_a["clock_mode"] == "simulated"
+        assert report_a["num_requests"] == 12
+
+    def test_report_schema_and_accounting(self, tiny_pipeline):
+        trace = _trace()
+        clock = SimulatedClock()
+        engine = _engine(tiny_pipeline, clock=clock)
+        report = replay_trace(engine, trace, clock=clock)
+        payload = report.to_dict()
+        assert payload["schema"] == "repro.traffic.replay.v1"
+        assert payload["by_status"] == {"finished": 10}
+        assert payload["total_tokens"] == sum(len(o["token_ids"]) for o in payload["outcomes"])
+        assert payload["duration_seconds"] > 0
+        assert payload["steps"] == report.steps > 0
+        for cls in payload["classes"].values():
+            assert set(cls["ttft"]) == {"count", "mean", "p50", "p95"}
+        # Finished requests expose TTFT and latency in virtual seconds.
+        for outcome in report.outcomes:
+            assert outcome.ttft_seconds is not None
+            assert outcome.latency_seconds >= outcome.ttft_seconds >= 0.0
+            assert outcome.token_ids
+
+    def test_token_streams_match_direct_engine_run(self, tiny_pipeline):
+        # The replayer adds timing and admission, never token semantics:
+        # greedy streams equal a plain engine run over the same prompts.
+        trace = _trace(num_requests=6)
+        clock = SimulatedClock()
+        engine = _engine(tiny_pipeline, clock=clock)
+        report = replay_trace(engine, trace, clock=clock)
+
+        reference = _engine(tiny_pipeline)
+        from repro.models.generation import GenerationConfig
+
+        for request in trace.requests:
+            reference.submit(
+                reference.tokenizer.encode(request.prompt, add_bos=True),
+                config=GenerationConfig.greedy_config(max_new_tokens=request.max_new_tokens),
+                request_id=request.request_id,
+            )
+        expected = reference.run()
+        for outcome in report.outcomes:
+            assert outcome.token_ids == expected[outcome.request_id].token_ids
+
+    def test_prefix_cache_reuse_shows_up_in_report(self, tiny_pipeline):
+        trace = _trace(num_requests=8, num_tenants=2, preamble_groups=1, preamble_sentences=4)
+        clock = SimulatedClock()
+        engine = _engine(tiny_pipeline, clock=clock, prefix_cache=PrefixCache(max_tokens=4096))
+        report = replay_trace(engine, trace, clock=clock)
+        assert report.prefix_cache["enabled"] is True
+        assert report.prefix_cache["prompt_tokens_reused"] > 0
+
+    def test_simulated_clock_mismatch_rejected(self, tiny_pipeline):
+        engine = _engine(tiny_pipeline)  # wall clock inside
+        with pytest.raises(ValueError, match="share the replay clock"):
+            replay_trace(engine, _trace(), clock=SimulatedClock())
+
+
+class TestChurn:
+    def test_scheduled_cancellation_yields_partial_stream(self, tiny_pipeline):
+        requests = [
+            TraceRequest(
+                request_id="keep", arrival_seconds=0.0, tenant="tenant-0",
+                traffic_class="interactive", prompt="the counter updates.",
+                max_new_tokens=12,
+            ),
+            TraceRequest(
+                request_id="cut", arrival_seconds=0.0, tenant="tenant-0",
+                traffic_class="bulk", prompt="the fifo resets on overflow.",
+                max_new_tokens=64, cancel_after=0.05,
+            ),
+        ]
+        clock = SimulatedClock()
+        engine = _engine(tiny_pipeline, clock=clock)
+        report = replay_trace(
+            engine,
+            _manual_trace(requests),
+            clock=clock,
+            cost_model=StepCostModel(decode_token_seconds=0.01),
+        )
+        by_id = {o.request_id: o for o in report.outcomes}
+        assert by_id["keep"].status == "finished"
+        assert by_id["cut"].status == "cancelled"
+        assert len(by_id["cut"].token_ids) < 64
+        assert report.by_status() == {"finished": 1, "cancelled": 1}
+
+    def test_deadline_expires_in_virtual_time(self, tiny_pipeline):
+        requests = [
+            TraceRequest(
+                request_id="slow", arrival_seconds=0.0, tenant="tenant-0",
+                traffic_class="bulk", prompt="the alu shifts in the next cycle.",
+                max_new_tokens=64, deadline_seconds=0.08,
+            ),
+        ]
+        clock = SimulatedClock()
+        engine = _engine(tiny_pipeline, clock=clock)
+        report = replay_trace(
+            engine,
+            _manual_trace(requests),
+            clock=clock,
+            cost_model=StepCostModel(decode_token_seconds=0.02),
+        )
+        outcome = report.outcomes[0]
+        assert outcome.status == "deadline"
+        assert len(outcome.token_ids) < 64
+        # Virtual expiry is deterministic: the same replay repeats exactly.
+        clock2 = SimulatedClock()
+        engine2 = _engine(tiny_pipeline, clock=clock2)
+        report2 = replay_trace(
+            engine2,
+            _manual_trace(requests),
+            clock=clock2,
+            cost_model=StepCostModel(decode_token_seconds=0.02),
+        )
+        assert report2.to_dict() == report.to_dict()
+
+
+class TestAdmissionInReplay:
+    def test_overload_sheds_only_bulk(self, tiny_pipeline):
+        # Arrivals must keep coming after the breach trips, so the span of
+        # the trace (24 req @ 30/s ≈ 0.8s) far exceeds the service rate
+        # (2 concurrent requests at ~0.2-0.3s each) and the detector's
+        # trip time (a few steps of queueing).
+        trace = _trace(
+            num_requests=24,
+            requests_per_second=30.0,
+            interactive_fraction=0.5,
+            max_new_token_choices=(8, 16),
+        )
+        clock = SimulatedClock()
+        engine = _engine(tiny_pipeline, clock=clock, max_active=2)
+        admission = AdmissionController(
+            SLOConfig(target_p95_ttft=0.02, window_seconds=5.0, min_samples=3)
+        )
+        report = replay_trace(
+            engine,
+            trace,
+            clock=clock,
+            cost_model=StepCostModel(decode_token_seconds=0.02),
+            admission=admission,
+        )
+        shed = [o for o in report.outcomes if o.status == "shed"]
+        assert shed, "overload scenario should shed some bulk traffic"
+        assert all(o.traffic_class == "bulk" for o in shed)
+        interactive = report.class_summary("interactive")
+        assert interactive["shed"] == 0
+        assert report.admission is not None
+        assert report.admission["breach_count"] >= 1
+        # Every request is accounted for exactly once.
+        assert len(report.outcomes) == 24
+
+    def test_defer_retries_eventually_admit(self, tiny_pipeline):
+        # Tight per-tenant bucket, no SLO pressure: requests defer, then
+        # admit as the bucket refills — nobody is lost or shed.
+        trace = _trace(num_requests=6, num_tenants=1, preamble_groups=1,
+                       requests_per_second=500.0, max_new_token_choices=(8,))
+        clock = SimulatedClock()
+        engine = _engine(tiny_pipeline, clock=clock)
+        admission = AdmissionController(
+            SLOConfig(target_p95_ttft=10.0, tenant_rate=40.0, tenant_burst=16.0)
+        )
+        report = replay_trace(engine, trace, clock=clock, admission=admission)
+        assert report.by_status() == {"finished": 6}
+        assert sum(o.defer_count for o in report.outcomes) > 0
+        tenants = report.admission["tenants"]
+        assert tenants["tenant-0"]["deferred"] > 0
+        assert tenants["tenant-0"]["shed"] == 0
+
+
+class TestWallClockReplay:
+    def test_wall_clock_sync_replay(self, tiny_pipeline):
+        trace = _trace(num_requests=4, requests_per_second=200.0)
+        engine = _engine(tiny_pipeline)
+        report = replay_trace(engine, trace, clock=WallClock())
+        assert report.clock_mode == "wall"
+        assert report.by_status() == {"finished": 4}
+
+    def test_async_front_end_replay(self, tiny_pipeline):
+        trace = _trace(num_requests=4, requests_per_second=200.0)
+        engine = _engine(tiny_pipeline)
+
+        async def main():
+            server = AsyncServingEngine(engine)
+            server.start()
+            try:
+                return await replay_trace_async(server, trace)
+            finally:
+                await server.close(cancel_pending=True)
+
+        report = asyncio.run(main())
+        assert report.clock_mode == "wall"
+        assert report.by_status() == {"finished": 4}
+        for outcome in report.outcomes:
+            assert outcome.token_ids
+            assert outcome.ttft_seconds is not None

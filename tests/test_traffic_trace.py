@@ -1,0 +1,180 @@
+"""Trace generator tests: determinism, serialization, distribution shape.
+
+The traffic harness's reproducibility guarantee starts here: the same
+:class:`~repro.traffic.trace.TraceConfig` must always produce the same
+trace, down to the canonical JSON bytes CI compares.  The distribution
+tests are seeded and assert *bounds*, not exact values — they pin the
+generator's shape (Poisson inter-arrival moments, class/length mixes,
+preamble sharing) without becoming change-detector tests.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.traffic import Trace, TraceConfig, TraceRequest, generate_trace
+from repro.traffic.trace import CLASS_PRIORITY
+
+
+def _config(**overrides) -> TraceConfig:
+    base = dict(num_requests=200, seed=11, requests_per_second=20.0)
+    base.update(overrides)
+    return TraceConfig(**base)
+
+
+class TestDeterminism:
+    def test_same_seed_byte_identical_json(self):
+        a = generate_trace(_config())
+        b = generate_trace(_config())
+        assert a.to_json() == b.to_json()
+
+    def test_different_seed_differs(self):
+        a = generate_trace(_config(seed=1))
+        b = generate_trace(_config(seed=2))
+        assert a.to_json() != b.to_json()
+
+    def test_canonical_json_is_sorted_and_compact(self):
+        text = generate_trace(_config(num_requests=5)).to_json()
+        assert ": " not in text and ", " not in text  # compact separators
+        assert text.index('"config"') < text.index('"requests"')  # sorted keys
+
+
+class TestRoundTrip:
+    def test_json_round_trip_is_identity(self):
+        trace = generate_trace(_config(deadline_fraction=0.3, cancel_fraction=0.3))
+        again = Trace.from_json(trace.to_json())
+        assert again.to_json() == trace.to_json()
+        assert again.config == trace.config
+        assert again.requests == trace.requests
+
+    def test_dict_round_trip_preserves_optional_fields(self):
+        trace = generate_trace(_config(num_requests=100, deadline_fraction=0.5, cancel_fraction=0.5))
+        again = Trace.from_dict(trace.to_dict())
+        with_deadline = [r for r in again.requests if r.deadline_seconds is not None]
+        with_cancel = [r for r in again.requests if r.cancel_after is not None]
+        assert with_deadline and with_cancel
+        assert again.requests == trace.requests
+
+    def test_save_load(self, tmp_path):
+        trace = generate_trace(_config(num_requests=8))
+        path = tmp_path / "trace.json"
+        trace.save(str(path))
+        assert Trace.load(str(path)).to_json() == trace.to_json()
+
+    def test_unknown_schema_rejected(self):
+        payload = generate_trace(_config(num_requests=2)).to_dict()
+        payload["schema"] = "something.else"
+        with pytest.raises(ValueError, match="schema"):
+            Trace.from_dict(payload)
+
+
+class TestDistributionShape:
+    def test_poisson_inter_arrival_moments(self):
+        # Exponential gaps with rate lambda: mean 1/lambda, std 1/lambda.
+        config = _config(num_requests=600, requests_per_second=10.0)
+        trace = generate_trace(config)
+        arrivals = [r.arrival_seconds for r in trace.requests]
+        gaps = np.diff([0.0] + arrivals)
+        assert gaps.min() >= 0.0
+        assert 0.08 < gaps.mean() < 0.125
+        assert 0.07 < gaps.std() < 0.14
+
+    def test_bursty_is_faster_and_clumped(self):
+        poisson = generate_trace(_config(num_requests=400))
+        bursty = generate_trace(_config(num_requests=400, arrival_process="bursty", burst_factor=6.0))
+        # Burst windows multiply the rate, so the same request count lands
+        # in less time and with higher gap dispersion (mix of two rates).
+        assert bursty.duration_seconds < poisson.duration_seconds
+        p_gaps = np.diff([0.0] + [r.arrival_seconds for r in poisson.requests])
+        b_gaps = np.diff([0.0] + [r.arrival_seconds for r in bursty.requests])
+        assert (b_gaps.std() / b_gaps.mean()) > (p_gaps.std() / p_gaps.mean())
+
+    def test_class_mix_proportions(self):
+        trace = generate_trace(_config(num_requests=500, interactive_fraction=0.3))
+        frac = sum(r.traffic_class == "interactive" for r in trace.requests) / 500
+        assert 0.22 < frac < 0.38
+
+    def test_length_mix_covers_choices(self):
+        config = _config(num_requests=300, max_new_token_choices=(4, 8, 16))
+        trace = generate_trace(config)
+        seen = {r.max_new_tokens for r in trace.requests}
+        assert seen == {4, 8, 16}
+        # Uniform choice: each option lands well away from 0 and 1.
+        for option in (4, 8, 16):
+            frac = sum(r.max_new_tokens == option for r in trace.requests) / 300
+            assert 0.2 < frac < 0.47
+
+    def test_tenant_population_and_preamble_sharing(self):
+        config = _config(num_requests=300, num_tenants=4, preamble_groups=2)
+        trace = generate_trace(config)
+        assert set(trace.tenants()) <= {f"tenant-{i}" for i in range(4)}
+        # Tenants in the same group share a preamble prefix; different
+        # groups do not.  Groups are assigned round-robin: 0,2 vs 1,3.
+        def preamble_of(tenant):
+            prompts = [r.prompt for r in trace.requests if r.tenant == tenant]
+            return prompts[0][:40]
+
+        assert preamble_of("tenant-0") == preamble_of("tenant-2")
+        assert preamble_of("tenant-1") == preamble_of("tenant-3")
+        assert preamble_of("tenant-0") != preamble_of("tenant-1")
+
+    def test_churn_fields_within_ranges(self):
+        config = _config(
+            num_requests=300,
+            deadline_fraction=0.4,
+            deadline_seconds_range=(0.5, 1.5),
+            cancel_fraction=0.4,
+            cancel_after_range=(0.1, 0.2),
+        )
+        trace = generate_trace(config)
+        deadlines = [r.deadline_seconds for r in trace.requests if r.deadline_seconds is not None]
+        cancels = [r.cancel_after for r in trace.requests if r.cancel_after is not None]
+        assert 0.3 < len(deadlines) / 300 < 0.5
+        assert 0.3 < len(cancels) / 300 < 0.5
+        assert all(0.5 <= d <= 1.5 for d in deadlines)
+        assert all(0.1 <= c <= 0.2 for c in cancels)
+
+
+class TestValidationAndProperties:
+    @pytest.mark.parametrize(
+        "overrides",
+        [
+            {"num_requests": 0},
+            {"requests_per_second": 0.0},
+            {"arrival_process": "weibull"},
+            {"preamble_groups": 0},
+            {"preamble_groups": 9},
+            {"interactive_fraction": 1.5},
+            {"deadline_fraction": -0.1},
+            {"cancel_fraction": 2.0},
+            {"burst_duty": 0.0},
+        ],
+    )
+    def test_bad_config_rejected(self, overrides):
+        with pytest.raises(ValueError):
+            generate_trace(_config(**overrides))
+
+    def test_priority_follows_class(self):
+        request = TraceRequest(
+            request_id="r0", arrival_seconds=0.0, tenant="tenant-0",
+            traffic_class="interactive", prompt="p", max_new_tokens=4,
+        )
+        assert request.priority == CLASS_PRIORITY["interactive"]
+        assert CLASS_PRIORITY["interactive"] > CLASS_PRIORITY["bulk"]
+
+    def test_request_ids_unique_and_ordered(self):
+        trace = generate_trace(_config(num_requests=50))
+        ids = [r.request_id for r in trace.requests]
+        assert len(set(ids)) == 50
+        arrivals = [r.arrival_seconds for r in trace.requests]
+        assert arrivals == sorted(arrivals)
+
+    def test_config_is_plain_data(self):
+        # The config must stay a flat dataclass of JSON-compatible scalars
+        # (that is what makes the trace schema round-trippable).
+        for field in dataclasses.fields(TraceConfig):
+            value = getattr(_config(), field.name)
+            assert isinstance(value, (int, float, str, tuple))
